@@ -1,0 +1,58 @@
+"""Ablation (Section 3.2, "Write-Back than Write-Through").
+
+The paper argues write-back is strictly better than write-through for a
+flash cache: write-through pays a disk write for *every* dirty eviction,
+losing the entire write-reduction benefit.  The library keeps the rejected
+alternative behind ``face_write_through`` so the claim can be measured.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.sim.runner import ExperimentRunner
+from repro.tpcc.scale import BENCH
+from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+
+CACHE_FRACTION = 0.12
+
+
+def _run(write_through: bool):
+    config = config_for("FaCE+GSC", CACHE_FRACTION).with_(
+        face_write_through=write_through,
+        label="FaCE+GSC (write-through)" if write_through else "FaCE+GSC (write-back)",
+    )
+    runner = ExperimentRunner(config, BENCH)
+    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
+    return runner.measure(MEASURE_TX)
+
+
+def test_ablation_writeback_vs_writethrough(benchmark):
+    results = once(benchmark, lambda: {wt: _run(wt) for wt in (False, True)})
+
+    print()
+    print(
+        format_table(
+            "Ablation - sync policy under FaCE+GSC (cache = 12% of DB)",
+            ["policy", "tpmC", "flash hit %", "write red. %", "disk util %"],
+            [
+                (
+                    r.name,
+                    round(r.tpmc),
+                    round(100 * r.flash_hit_rate, 1),
+                    round(100 * r.write_reduction, 1),
+                    round(100 * r.utilization["disk"], 1),
+                )
+                for r in results.values()
+            ],
+            width=26,
+        )
+    )
+
+    write_back, write_through = results[False], results[True]
+    # Identical read-side caching: hit rates match closely.
+    assert abs(write_back.flash_hit_rate - write_through.flash_hit_rate) < 0.08
+    # Write-through forfeits the write reduction...
+    assert write_through.write_reduction < 0.1
+    assert write_back.write_reduction > 0.4
+    # ...and loses throughput on the disk-bound system.
+    assert write_back.tpmc > 1.2 * write_through.tpmc

@@ -1,0 +1,59 @@
+"""Section 2.2: cost-effectiveness of flash cache vs DRAM — the analysis.
+
+Regenerates the paper's break-even formula results with the Table 1 device
+pair (Seagate Cheetah / Samsung 470) and cross-checks the analytical claim
+against the simulator's Table 5 mechanism: the exponent
+``C_disk / (C_disk - C_flash)`` is barely above one, so a dollar of flash
+(10x more capacity than a dollar of DRAM) buys several times the I/O-time
+reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import breakeven_exponent, breakeven_theta, roi_ratio
+from repro.analysis.tables import format_table
+from repro.storage.profiles import (
+    DRAM_TO_FLASH_PRICE_RATIO,
+    HDD_CHEETAH_15K,
+    MLC_SAMSUNG_470,
+)
+from benchmarks.conftest import once
+
+
+def test_section22_costmodel(benchmark):
+    def run():
+        rows = []
+        for label, read_fraction in (("read-only", 1.0), ("write-only", 0.0)):
+            exponent = breakeven_exponent(
+                HDD_CHEETAH_15K, MLC_SAMSUNG_470, read_fraction
+            )
+            theta = breakeven_theta(0.5, HDD_CHEETAH_15K, MLC_SAMSUNG_470,
+                                    read_fraction)
+            roi = roi_ratio(0.5, HDD_CHEETAH_15K, MLC_SAMSUNG_470,
+                            DRAM_TO_FLASH_PRICE_RATIO, read_fraction)
+            rows.append((label, round(exponent, 4), round(theta, 4), round(roi, 2)))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print(
+        format_table(
+            "Section 2.2 - break-even exponent, theta(delta=0.5), ROI at 10:1 $/GB",
+            ["workload", "exponent", "theta", "flash ROI"],
+            rows,
+        )
+    )
+
+    read_only, write_only = rows
+    # The paper: exponents "very close to one" (~1.006 read, ~1.025 write
+    # from their arithmetic; Table 1's own numbers give 1.015/1.058).
+    assert 1.0 < read_only[1] < 1.03
+    assert 1.0 < write_only[1] < 1.08
+    assert read_only[1] < write_only[1]
+    # Break-even flash size is nearly 1:1 with the displaced DRAM.
+    assert read_only[2] == pytest.approx(0.5, abs=0.05)
+    # Equal money in flash buys multiples of the DRAM benefit.
+    assert read_only[3] > 2.0
+    assert write_only[3] > 2.0

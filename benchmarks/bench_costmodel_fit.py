@@ -1,0 +1,49 @@
+"""Validate Section 2.2's premise inside the simulator.
+
+The cost-effectiveness analysis assumes hit rate is linear in
+``log(cache size)`` (Tsuei et al.).  This bench fits that model to the
+measured Table-3 sweep and checks it actually describes the simulated
+system — closing the loop between the analysis and the experiments.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_log_hit_curve
+from repro.analysis.tables import format_table
+from benchmarks.conftest import DB_PAGES, TABLE_FRACTIONS, once, sweep_cell
+
+
+def test_hit_rate_follows_log_linear_law(benchmark):
+    def run():
+        out = {}
+        for policy in ("FaCE+GSC", "LC"):
+            points = [
+                (fraction * DB_PAGES, sweep_cell(policy, fraction).flash_hit_rate)
+                for fraction in TABLE_FRACTIONS
+            ]
+            out[policy] = fit_log_hit_curve(points)
+        return out
+
+    fits = once(benchmark, run)
+
+    print()
+    print(
+        format_table(
+            "Section 2.2 premise - hit rate vs log(cache size) fit",
+            ["policy", "alpha", "beta", "R^2"],
+            [
+                (policy, round(fit.alpha, 4), round(fit.beta, 3),
+                 round(fit.r_squared, 4))
+                for policy, fit in fits.items()
+            ],
+        )
+    )
+
+    for policy, fit in fits.items():
+        # The law must describe the sweep well (the paper builds on it).
+        assert fit.r_squared > 0.95, f"{policy}: log-linear law fails"
+        assert fit.alpha > 0  # bigger cache, more hits
+        # Interpolation sanity: the mid-sweep prediction lands close.
+        mid_size = TABLE_FRACTIONS[2] * DB_PAGES
+        measured_mid = sweep_cell(policy, TABLE_FRACTIONS[2]).flash_hit_rate
+        assert abs(fit.predict(mid_size) - measured_mid) < 0.05

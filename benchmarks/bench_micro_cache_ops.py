@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the hot cache-management operations.
+
+Unlike the table/figure benches (which run once and report *simulated*
+metrics), these measure real Python time with pytest-benchmark's normal
+multi-round protocol — they guard the simulator's own performance, which
+bounds how large an experiment the harness can afford.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.flashcache.group import GroupSecondChanceCache
+from repro.flashcache.lc import LazyCleaningCache
+from repro.flashcache.mvfifo import MvFifoCache
+from repro.storage.hdd import DiskDevice
+from repro.storage.profiles import HDD_CHEETAH_15K, MLC_SAMSUNG_470
+from repro.storage.ssd import FlashDevice
+from repro.storage.volume import Volume
+from tests.conftest import make_frame
+
+CAPACITY = 2048
+
+
+def _volumes():
+    flash = Volume(FlashDevice(MLC_SAMSUNG_470, CAPACITY + 256))
+    disk = Volume(DiskDevice(HDD_CHEETAH_15K, 1 << 20))
+    return flash, disk
+
+
+@pytest.fixture
+def mvfifo():
+    flash, disk = _volumes()
+    return MvFifoCache(flash, disk, CAPACITY, segment_entries=256)
+
+
+@pytest.fixture
+def gsc():
+    flash, disk = _volumes()
+    return GroupSecondChanceCache(flash, disk, CAPACITY, segment_entries=256)
+
+
+@pytest.fixture
+def lc():
+    flash, disk = _volumes()
+    return LazyCleaningCache(flash, disk, CAPACITY)
+
+
+def test_micro_mvfifo_evict_throughput(benchmark, mvfifo):
+    counter = itertools.count()
+
+    def evict():
+        mvfifo.on_dram_evict(make_frame(next(counter) % 4096, dirty=True, fdirty=True))
+
+    benchmark(evict)
+
+
+def test_micro_gsc_evict_throughput(benchmark, gsc):
+    counter = itertools.count()
+
+    def evict():
+        gsc.on_dram_evict(make_frame(next(counter) % 4096, dirty=True, fdirty=True))
+
+    benchmark(evict)
+
+
+def test_micro_lc_evict_throughput(benchmark, lc):
+    counter = itertools.count()
+
+    def evict():
+        lc.on_dram_evict(make_frame(next(counter) % 4096, dirty=True, fdirty=True))
+
+    benchmark(evict)
+
+
+def test_micro_mvfifo_hit_lookup(benchmark, mvfifo):
+    for i in range(CAPACITY // 2):
+        mvfifo.on_dram_evict(make_frame(i, dirty=True, fdirty=True))
+    counter = itertools.count()
+
+    def lookup():
+        mvfifo.lookup_fetch(next(counter) % (CAPACITY // 2))
+
+    benchmark(lookup)
+
+
+def test_micro_crash_recover_roundtrip(benchmark, mvfifo):
+    for i in range(CAPACITY):
+        mvfifo.on_dram_evict(make_frame(i, dirty=True, fdirty=True))
+
+    def roundtrip():
+        mvfifo.crash()
+        mvfifo.recover()
+
+    benchmark(roundtrip)

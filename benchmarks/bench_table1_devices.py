@@ -1,0 +1,113 @@
+"""Table 1: price and performance characteristics of the device models.
+
+Regenerates the paper's Table 1 by *measuring* the simulated devices with
+the same microbenchmark shape the Orion tool used: sustained 4 KB random
+reads/writes (reported as IOPS) and large sequential transfers (reported as
+MB/s).  The measured numbers must round-trip the calibration inputs —
+this is the benchmark that proves the substrate is faithful to the paper's
+hardware table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.storage.device import Device
+from repro.storage.hdd import DiskDevice
+from repro.storage.profiles import PAGE_SIZE, TABLE1_PROFILES, DeviceProfile
+from repro.storage.raid import Raid0Array
+from repro.storage.ssd import FlashDevice
+from benchmarks.conftest import once
+
+_OPS = 2000
+_SEQ_PAGES = 4096
+
+
+def _build(name: str, profile: DeviceProfile) -> Device:
+    capacity = 1 << 20
+    if "SSD" in profile.name:
+        return FlashDevice(profile, capacity)
+    if "RAID" in profile.name:
+        return Raid0Array(8, capacity_pages=capacity)
+    return DiskDevice(profile, capacity)
+
+
+def _measure(device: Device) -> dict[str, float]:
+    rng = random.Random(0)
+    out: dict[str, float] = {}
+    # Random 4 KB reads.
+    device.reset_stats()
+    for _ in range(_OPS):
+        device.read(rng.randrange(0, device.capacity_pages - 1))
+    out["rand_read_iops"] = _OPS / device.busy_time
+    # Random 4 KB writes (spread over the device, as Orion's steady state).
+    device.reset_stats()
+    for _ in range(_OPS):
+        device.write(rng.randrange(0, device.capacity_pages - 1))
+    out["rand_write_iops"] = _OPS / device.busy_time
+    # Sequential transfers.
+    device.reset_stats()
+    device.read(0, _SEQ_PAGES)
+    out["seq_read_mbps"] = _SEQ_PAGES * PAGE_SIZE / device.busy_time / 1e6
+    device.reset_stats()
+    device.write(0, _SEQ_PAGES)
+    out["seq_write_mbps"] = _SEQ_PAGES * PAGE_SIZE / device.busy_time / 1e6
+    return out
+
+
+def test_table1_device_characteristics(benchmark):
+    def run():
+        return {
+            name: _measure(_build(name, profile))
+            for name, profile in TABLE1_PROFILES.items()
+        }
+
+    measured = once(benchmark, run)
+
+    rows = []
+    for name, profile in TABLE1_PROFILES.items():
+        m = measured[name]
+        rows.append(
+            (
+                profile.name[:34],
+                round(m["rand_read_iops"]),
+                round(m["rand_write_iops"]),
+                round(m["seq_read_mbps"], 1),
+                round(m["seq_write_mbps"], 1),
+                round(profile.capacity_gb, 1),
+                f"{profile.price_usd} ({profile.price_per_gb:.2f})",
+            )
+        )
+    print()
+    print(
+        format_table(
+            "Table 1 - measured device characteristics (paper values in profiles)",
+            ["device", "rd IOPS", "wr IOPS", "rd MB/s", "wr MB/s", "GB", "$ ($/GB)"],
+            rows,
+            width=14,
+        )
+    )
+
+    # Measured values must reproduce the calibration inputs.
+    for name, profile in TABLE1_PROFILES.items():
+        m = measured[name]
+        assert m["rand_read_iops"] == pytest.approx(profile.random_read_iops, rel=0.02)
+        assert m["seq_read_mbps"] == pytest.approx(profile.seq_read_mbps, rel=0.02)
+        assert m["seq_write_mbps"] == pytest.approx(profile.seq_write_mbps, rel=0.02)
+        if "SSD" in profile.name:
+            # Wide random writes approach the calibrated (worst-case) rate.
+            assert m["rand_write_iops"] >= profile.random_write_iops * 0.95
+        else:
+            assert m["rand_write_iops"] == pytest.approx(
+                profile.random_write_iops, rel=0.02
+            )
+
+    # The structural facts the paper builds on (Section 2.1).
+    mlc = measured["mlc_samsung_470"]
+    disk = measured["hdd_cheetah_15k"]
+    raid = measured["raid0_8_disks"]
+    assert mlc["rand_read_iops"] > 10 * raid["rand_read_iops"]
+    assert mlc["rand_read_iops"] > 50 * disk["rand_read_iops"]

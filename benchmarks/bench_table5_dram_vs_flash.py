@@ -1,0 +1,78 @@
+"""Table 5: "More DRAM or More Flash" — equal-money scaling.
+
+Paper: starting from the base configuration (200 MB DRAM buffer, no flash
+cache), each step adds either 200 MB of DRAM *or* 2 GB of flash (same
+dollars at the 10:1 $/GB gap of Section 2.2), five steps::
+
+    (tpmC)        x1    x2    x3    x4    x5
+    More DRAM   2061  2353  2501  2705  2843
+    More Flash  3681  4310  4830  5161  5570
+
+Shape claims: at every step, spending the money on flash (FaCE+GSC) yields
+substantially higher throughput than spending it on DRAM, and both curves
+rise monotonically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.config import CachePolicy, scaled_reference_config
+from repro.sim.runner import ExperimentRunner
+from repro.storage.profiles import DRAM_TO_FLASH_PRICE_RATIO
+from repro.tpcc.scale import BENCH
+from benchmarks.conftest import DB_PAGES, MEASURE_TX, WARMUP_MAX, WARMUP_MIN, once
+
+STEPS = (1, 2, 3, 4, 5)
+#: One increment of DRAM: the base buffer itself (200 MB on 50 GB = 0.4 %).
+DRAM_STEP_PAGES = max(16, int(DB_PAGES * 0.004))
+#: The same money in flash: 10x the pages.
+FLASH_STEP_PAGES = int(DRAM_STEP_PAGES * DRAM_TO_FLASH_PRICE_RATIO)
+
+
+def _run(buffer_pages: int, cache_pages: int) -> float:
+    if cache_pages:
+        config = scaled_reference_config(
+            DB_PAGES, policy=CachePolicy.FACE_GSC
+        ).with_(buffer_pages=buffer_pages, cache_pages=cache_pages,
+                segment_entries=max(64, cache_pages // 16))
+    else:
+        config = scaled_reference_config(
+            DB_PAGES, cache_fraction=0.01, policy=CachePolicy.NONE
+        ).with_(buffer_pages=buffer_pages)
+    runner = ExperimentRunner(config, BENCH)
+    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
+    return runner.measure(MEASURE_TX).tpmc
+
+
+def test_table5_more_dram_vs_more_flash(benchmark):
+    def run():
+        base_buffer = DRAM_STEP_PAGES
+        dram_row = [
+            _run(base_buffer + k * DRAM_STEP_PAGES, 0) for k in STEPS
+        ]
+        flash_row = [
+            _run(base_buffer, k * FLASH_STEP_PAGES) for k in STEPS
+        ]
+        return dram_row, flash_row
+
+    dram_row, flash_row = once(benchmark, run)
+
+    print()
+    print(
+        format_table(
+            f"Table 5 - equal spend: +{DRAM_STEP_PAGES}p DRAM vs "
+            f"+{FLASH_STEP_PAGES}p flash per step (tpmC)",
+            ["option", *[f"x{k}" for k in STEPS]],
+            [
+                ("More DRAM", *[round(v) for v in dram_row]),
+                ("More Flash", *[round(v) for v in flash_row]),
+            ],
+        )
+    )
+
+    # Flash wins at every step with a wide margin (paper: 1.8-2x).
+    for k, (dram, flash) in enumerate(zip(dram_row, flash_row), start=1):
+        assert flash > 1.2 * dram, f"step x{k}: flash {flash:.0f} vs dram {dram:.0f}"
+    # Both investments keep paying off across the sweep.
+    assert flash_row[-1] > flash_row[0]
+    assert dram_row[-1] > dram_row[0]

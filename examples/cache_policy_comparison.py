@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare every flash-cache policy on the same TPC-C workload.
+
+Reproduces the paper's Table 2 landscape in action: the two on-entry
+write-through designs (Exadata-style, TAC), the on-exit write-back LRU-2
+design (LC), and the FaCE family (mvFIFO, +GR, +GSC), plus the no-cache
+and all-flash ends of the spectrum.
+
+Run:  python examples/cache_policy_comparison.py [cache_fraction]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CachePolicy, ExperimentRunner, scaled_reference_config
+from repro.analysis import format_table
+from repro.tpcc import BENCH, estimate_db_pages
+
+TRANSACTIONS = 2_000
+
+POLICIES = [
+    ("HDD-only", CachePolicy.NONE, {}),
+    ("Exadata", CachePolicy.EXADATA, {}),
+    ("TAC", CachePolicy.TAC, {}),
+    ("LC", CachePolicy.LC, {}),
+    ("FaCE", CachePolicy.FACE, {}),
+    ("FaCE+GR", CachePolicy.FACE_GR, {}),
+    ("FaCE+GSC", CachePolicy.FACE_GSC, {}),
+    ("SSD-only", CachePolicy.NONE, {"ssd_only": True, "label": "SSD-only"}),
+]
+
+
+def main() -> None:
+    cache_fraction = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    db_pages = estimate_db_pages(BENCH)
+    print(
+        f"TPC-C, {db_pages:,} pages; cache = {cache_fraction:.0%} of the "
+        f"database; {TRANSACTIONS} measured transactions per policy\n"
+    )
+
+    rows = []
+    for name, policy, overrides in POLICIES:
+        config = scaled_reference_config(
+            db_pages, cache_fraction=cache_fraction, policy=policy, **overrides
+        )
+        runner = ExperimentRunner(config, BENCH, seed=42)
+        runner.warm_up()
+        result = runner.measure(TRANSACTIONS)
+        bottleneck = max(result.utilization, key=result.utilization.get)
+        rows.append(
+            (
+                name,
+                round(result.tpmc),
+                f"{result.flash_hit_rate:.0%}",
+                f"{result.write_reduction:.0%}",
+                f"{result.flash_utilization:.0%}",
+                bottleneck,
+            )
+        )
+        print(f"  {name}: done")
+
+    print()
+    print(
+        format_table(
+            "Policy comparison",
+            ["policy", "tpmC", "flash hit", "write red.", "flash util", "bottleneck"],
+            rows,
+        )
+    )
+    print(
+        "\nReading guide: LC hits more but saturates its flash device with\n"
+        "random writes (bottleneck = flash); the FaCE family keeps flash\n"
+        "writes sequential, so the disk array stays the bottleneck and\n"
+        "throughput keeps scaling with cache size (the paper's Figure 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Ordered access on the engine: the WAL-logged B+-tree.
+
+Builds a time-series table, indexes it with the B+-tree (whose nodes are
+ordinary engine pages — buffered, flash-cached, WAL-logged), runs range
+queries, and shows that the index — like everything else in the system —
+survives a crash through the normal recovery path with no special index
+rebuild.
+
+Run:  python examples/range_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import CachePolicy, SimulatedDBMS, SystemConfig, crash_and_restart
+from repro.db import TableSchema, float_col, int_col, str_col
+
+EVENTS = 3_000
+
+SCHEMA = TableSchema(
+    name="events",
+    columns=(int_col("ts"), str_col("sensor", 12), float_col("reading")),
+    primary_key=("ts", "sensor"),
+)
+
+
+def build() -> tuple[SimulatedDBMS, object]:
+    config = SystemConfig(
+        buffer_pages=96,
+        cache_policy=CachePolicy.FACE_GSC,
+        cache_pages=512,
+        segment_entries=128,
+        scan_depth=32,
+        n_disks=4,
+        disk_capacity_pages=1 << 16,
+    )
+    dbms = SimulatedDBMS(config)
+    dbms.create_table(SCHEMA, expected_rows=EVENTS, growth_factor=1.5)
+    tree = dbms.create_btree_index("events_by_ts", "events", n_pages=256,
+                                   fanout=64)
+
+    # Ingest through normal transactions (each batch = one commit).
+    batch_size = 200
+    for start in range(0, EVENTS, batch_size):
+        tx = dbms.begin()
+        accessor = dbms.tx_accessor(tx)
+        for ts in range(start, min(start + batch_size, EVENTS)):
+            sensor = f"s{ts % 7}"
+            rid = dbms.insert_row(tx, "events", (ts, sensor, float(ts % 100)))
+            tree.insert((ts, sensor), rid, accessor)
+        dbms.commit(tx)
+    return dbms, tree
+
+
+def window_average(dbms, tree, low_ts: int, high_ts: int) -> tuple[int, float]:
+    tx = dbms.begin()
+    accessor = dbms.tx_accessor(tx)
+    count, total = 0, 0.0
+    for _key, rid in tree.range_scan((low_ts,), (high_ts + 1,), accessor):
+        row = dbms.fetch_row("events", rid)
+        count += 1
+        total += row[2]
+    dbms.commit(tx)
+    return count, (total / count if count else 0.0)
+
+
+def main() -> None:
+    dbms, tree = build()
+    tx = dbms.begin()
+    accessor = dbms.tx_accessor(tx)
+    print(f"ingested {EVENTS:,} events; B+-tree height "
+          f"{tree.height(accessor)}, {tree.node_count(accessor)} nodes")
+    dbms.commit(tx)
+
+    count, avg = window_average(dbms, tree, 1_000, 1_499)
+    print(f"window [1000, 1499]: {count} events, mean reading {avg:.2f}")
+
+    report = crash_and_restart(dbms)
+    print(f"crash + restart: {report.total_time:.3f}s simulated, "
+          f"{report.fpw_installed + report.redo_applied:,} redo actions")
+
+    count2, avg2 = window_average(dbms, tree, 1_000, 1_499)
+    assert (count, avg) == (count2, avg2)
+    print("the same range query returns identical results after recovery —")
+    print("index pages recover through the ordinary WAL path, no rebuild.")
+
+
+if __name__ == "__main__":
+    main()

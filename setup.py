@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so that
+``python setup.py develop`` works in offline environments where pip cannot
+fetch the ``wheel`` package that PEP 660 editable installs require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Analysis utilities: the Section 2.2 cost model, tables, and reports."""
+
+from repro.analysis.costmodel import (
+    access_time,
+    breakeven_exponent,
+    breakeven_theta,
+    hit_rate_gain,
+    roi_ratio,
+)
+from repro.analysis.fitting import LogLinearFit, fit_log_hit_curve
+from repro.analysis.report import (
+    comparison_summary,
+    restart_report_table,
+    run_result_table,
+)
+from repro.analysis.tables import format_percent_rows, format_series, format_table
+
+__all__ = [
+    "access_time",
+    "breakeven_exponent",
+    "breakeven_theta",
+    "comparison_summary",
+    "format_percent_rows",
+    "format_series",
+    "format_table",
+    "LogLinearFit",
+    "fit_log_hit_curve",
+    "hit_rate_gain",
+    "restart_report_table",
+    "roi_ratio",
+    "run_result_table",
+]

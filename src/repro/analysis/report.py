@@ -1,0 +1,65 @@
+"""Markdown experiment reports.
+
+Turns :class:`~repro.sim.runner.RunResult` and
+:class:`~repro.recovery.restart.RestartReport` objects into the markdown
+blocks the CLI emits and EXPERIMENTS.md-style records are assembled from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.recovery.restart import RestartReport
+from repro.sim.runner import RunResult
+
+
+def run_result_table(results: Iterable[RunResult], title: str = "Results") -> str:
+    """Render a markdown table of steady-state runs."""
+    lines = [
+        f"### {title}",
+        "",
+        "| configuration | tpmC | DRAM hit | flash hit | write red. | "
+        "flash util | disk util | bottleneck |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for r in results:
+        bottleneck = max(r.utilization, key=r.utilization.get) if r.utilization else "-"
+        lines.append(
+            f"| {r.name} | {r.tpmc:,.0f} | {r.dram_hit_rate:.1%} | "
+            f"{r.flash_hit_rate:.1%} | {r.write_reduction:.1%} | "
+            f"{r.utilization.get('flash', 0.0):.1%} | "
+            f"{r.utilization.get('disk', 0.0):.1%} | {bottleneck} |"
+        )
+    return "\n".join(lines)
+
+
+def restart_report_table(
+    reports: Iterable[tuple[str, RestartReport]], title: str = "Restart"
+) -> str:
+    """Render a markdown table of restart measurements."""
+    lines = [
+        f"### {title}",
+        "",
+        "| configuration | restart (s) | metadata (s) | log records | "
+        "FPW installs | redo | flash reads | losers |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for name, r in reports:
+        lines.append(
+            f"| {name} | {r.total_time:.3f} | {r.metadata_restore_time:.4f} | "
+            f"{r.log_records_scanned:,} | {r.fpw_installed:,} | "
+            f"{r.redo_applied:,} | {r.flash_read_fraction:.1%} | {r.losers} |"
+        )
+    return "\n".join(lines)
+
+
+def comparison_summary(baseline: RunResult, candidate: RunResult) -> str:
+    """One-paragraph A/B summary (candidate vs baseline)."""
+    speedup = candidate.tpmc / baseline.tpmc if baseline.tpmc else float("inf")
+    return (
+        f"**{candidate.name}** delivers {candidate.tpmc:,.0f} tpmC vs "
+        f"**{baseline.name}**'s {baseline.tpmc:,.0f} ({speedup:.2f}x), with a "
+        f"{candidate.flash_hit_rate:.0%} flash hit rate and "
+        f"{candidate.write_reduction:.0%} of dirty evictions absorbed before "
+        f"reaching disk."
+    )

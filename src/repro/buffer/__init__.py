@@ -1,0 +1,16 @@
+"""DRAM buffer pool with FaCE's dirty/fdirty flag machinery."""
+
+from repro.buffer.frame import Frame
+from repro.buffer.pool import BufferPool
+from repro.buffer.replacement import ClockPolicy, LruPolicy, ReplacementPolicy, make_policy
+from repro.buffer.stats import BufferStats
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "ClockPolicy",
+    "Frame",
+    "LruPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

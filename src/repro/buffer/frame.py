@@ -1,0 +1,68 @@
+"""Buffer frame: one DRAM-resident page plus its FaCE state flags.
+
+The paper's Algorithm 1 needs *two* dirty flags per buffered page:
+
+* ``dirty``  — the page is newer than its **disk** copy.
+* ``fdirty`` — the page is newer than its **flash-cache** copy ("flash
+  dirty", Section 3.3).
+
+The rules (paper, Figure 2) are implemented by the small state-transition
+methods here so every caller manipulates the flags the same way:
+
+* fetched from disk        → ``dirty = fdirty = False``
+* fetched from flash cache → ``fdirty = False`` and ``dirty`` preserved from
+  the flash directory (the flash/DRAM copies are synced; disk may be stale)
+* updated in DRAM          → ``dirty = fdirty = True``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.page import Page
+
+
+@dataclass
+class Frame:
+    """One buffer-pool frame."""
+
+    page: Page
+    dirty: bool = False
+    fdirty: bool = False
+    pin_count: int = 0
+    #: Set when the frame is re-referenced while resident; consumed by
+    #: second-chance style DRAM policies (not used by plain LRU).
+    referenced: bool = field(default=False, repr=False)
+
+    @property
+    def page_id(self) -> int:
+        return self.page.page_id
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    # -- FaCE flag transitions (paper Figure 2 / Algorithm 1) -------------
+
+    def on_fetch_from_disk(self) -> None:
+        """No cached copy exists: both flags drop."""
+        self.dirty = False
+        self.fdirty = False
+
+    def on_fetch_from_flash(self, flash_copy_dirty: bool) -> None:
+        """DRAM and flash copies are now synced; disk may still be stale."""
+        self.dirty = flash_copy_dirty
+        self.fdirty = False
+
+    def on_update(self) -> None:
+        """The DRAM copy is now newer than both non-volatile copies."""
+        self.dirty = True
+        self.fdirty = True
+
+    def pin(self) -> None:
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        if self.pin_count <= 0:
+            raise ValueError(f"unpin of unpinned frame {self.page_id}")
+        self.pin_count -= 1

@@ -1,0 +1,151 @@
+"""DRAM buffer pool.
+
+Models PostgreSQL's shared-buffer pool at the level of detail the paper's
+algorithms need: a pluggable replacement policy (strict LRU by default,
+CLOCK optionally — see :mod:`repro.buffer.replacement`), pin counts, the
+``dirty``/``fdirty`` flags on every frame, and two eviction entry points —
+
+* :meth:`make_room`, the normal ``getFreeBuffer`` path that frees exactly
+  one frame, and
+* :meth:`pull_tail`, the GSC helper that pulls extra cold pages to top up
+  a flash-cache replacement batch (Section 3.3 — analogous to the Linux
+  writeback daemons / Oracle DBWR the paper cites).
+
+The pool never does I/O itself; evicted frames are handed to the caller
+(the DBMS data path), which routes them to the flash cache or disk
+according to the active policy.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.frame import Frame
+from repro.buffer.replacement import ReplacementPolicy, make_policy
+from repro.buffer.stats import BufferStats
+from repro.db.page import Page
+from repro.errors import BufferFullError, ConfigError
+
+
+class BufferPool:
+    """Fixed-capacity pool of :class:`Frame` objects."""
+
+    def __init__(self, capacity: int, policy: str = "lru") -> None:
+        if capacity < 1:
+            raise ConfigError(f"buffer pool needs >= 1 frame, got {capacity}")
+        self.capacity = capacity
+        self.policy_name = policy
+        self._policy: ReplacementPolicy = make_policy(policy)
+        self._frames: dict[int, Frame] = {}
+        self.stats = BufferStats()
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, page_id: int) -> Frame | None:
+        """Return the resident frame for ``page_id`` or ``None`` on a miss.
+
+        A hit refreshes replacement state and the frame's reference bit and
+        is counted; misses are counted too (callers then fetch from below).
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._policy.touch(frame)
+        frame.referenced = True
+        return frame
+
+    def peek(self, page_id: int) -> Frame | None:
+        """Return the frame without touching replacement state or counters."""
+        return self._frames.get(page_id)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._frames) >= self.capacity
+
+    # -- admission / eviction ------------------------------------------------
+
+    def admit(self, page: Page, dirty: bool = False, fdirty: bool = False) -> Frame:
+        """Install ``page`` as a fresh frame.
+
+        The caller must have freed space first (:meth:`make_room`);
+        admitting into a full pool is a programming error.
+        """
+        if page.page_id in self._frames:
+            raise ConfigError(f"page {page.page_id} already buffered")
+        if self.is_full:
+            raise BufferFullError("admit() on a full pool; call make_room() first")
+        frame = Frame(page=page, dirty=dirty, fdirty=fdirty)
+        self._frames[page.page_id] = frame
+        self._policy.insert(frame)
+        return frame
+
+    def make_room(self) -> Frame | None:
+        """Evict and return one cold unpinned frame if the pool is full.
+
+        Returns ``None`` when there is already a free slot.  Raises
+        :class:`BufferFullError` if every frame is pinned.
+        """
+        if not self.is_full:
+            return None
+        victim = self._policy.victims(1)[0]
+        self._remove(victim)
+        self._count_eviction(victim)
+        return victim
+
+    def pull_tail(self, max_frames: int) -> list[Frame]:
+        """Evict up to ``max_frames`` cold unpinned frames.
+
+        Used by Group Second Chance to fill a flash-write batch.  May
+        return fewer frames (or none) if the pool is small or frames are
+        pinned; GSC tolerates a short batch.
+        """
+        try:
+            victims = self._policy.victims(max_frames)
+        except BufferFullError:
+            return []
+        for frame in victims:
+            self._remove(frame)
+            self._count_eviction(frame)
+        return victims
+
+    def drop(self, page_id: int) -> Frame | None:
+        """Remove a frame without counting an eviction (e.g. on table drop)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._remove(frame)
+        return frame
+
+    def _remove(self, frame: Frame) -> None:
+        del self._frames[frame.page_id]
+        self._policy.remove(frame.page_id)
+
+    def _count_eviction(self, frame: Frame) -> None:
+        self.stats.evictions += 1
+        if frame.dirty or frame.fdirty:
+            self.stats.dirty_evictions += 1
+        else:
+            self.stats.clean_evictions += 1
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def dirty_frames(self) -> list[Frame]:
+        """All frames with either dirty flag set, coldest -> hottest."""
+        return [f for f in self._policy.frames() if f.dirty or f.fdirty]
+
+    def frames(self) -> list[Frame]:
+        """All resident frames, coldest -> hottest (snapshot)."""
+        return self._policy.frames()
+
+    # -- crash simulation ----------------------------------------------------
+
+    def wipe(self) -> None:
+        """Lose all DRAM contents (crash).  Statistics survive for the
+        experimenter, matching how the paper reports across-crash runs."""
+        self._frames.clear()
+        self._policy = make_policy(self.policy_name)

@@ -1,0 +1,37 @@
+"""Buffer-pool counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction accounting for the DRAM buffer pool.
+
+    ``dirty_evictions`` is the denominator of the paper's Table 3(b)
+    write-reduction metric ("ratio of flash cache writes to all dirty
+    evictions"), so it is tracked here at the source of truth.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    clean_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """DRAM hit fraction (0 when nothing was accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.clean_evictions = 0

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      steady-state TPC-C measurement of one or more cache policies
+``recover``  crash + restart comparison (Table 6 style)
+``devices``  microbenchmark the simulated device models (Table 1 style)
+``sweep``    cache-size sweep for one policy (Figure 4 style series)
+
+All output is plain text / markdown; every command is deterministic for a
+given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import restart_report_table, run_result_table
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import CachePolicy, scaled_reference_config
+from repro.recovery.restart import RecoveryManager
+from repro.sim.runner import ExperimentRunner
+from repro.storage.profiles import TABLE1_PROFILES
+from repro.tpcc.loader import estimate_db_pages
+from repro.tpcc.scale import BENCH, TINY, ScaleProfile
+
+_POLICY_NAMES = {p.value: p for p in CachePolicy}
+
+
+def _scale(name: str) -> ScaleProfile:
+    try:
+        return {"tiny": TINY, "bench": BENCH}[name]
+    except KeyError:
+        raise SystemExit(f"unknown scale {name!r} (use tiny|bench)") from None
+
+
+def _build_runner(args, policy: CachePolicy, **overrides) -> ExperimentRunner:
+    scale = _scale(args.scale)
+    config = scaled_reference_config(
+        estimate_db_pages(scale),
+        cache_fraction=args.cache_fraction,
+        policy=policy,
+        **overrides,
+    )
+    return ExperimentRunner(config, scale, seed=args.seed)
+
+
+def cmd_run(args) -> int:
+    results = []
+    for name in args.policies:
+        policy = _POLICY_NAMES[name]
+        runner = _build_runner(args, policy)
+        warmed = runner.warm_up()
+        result = runner.measure(args.transactions)
+        print(f"# {result.name}: warm-up {warmed} tx, measured "
+              f"{args.transactions} tx", file=sys.stderr)
+        results.append(result)
+    print(run_result_table(results, title="Steady-state TPC-C"))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    reports = []
+    for name in args.policies:
+        policy = _POLICY_NAMES[name]
+        runner = _build_runner(args, policy)
+        runner.warm_up()
+        dbms = runner.dbms
+        last, checkpoints, executed = 0.0, 0, 0
+        while executed < 60_000:
+            runner.driver.run_one()
+            executed += 1
+            wall = dbms.wall_clock()
+            if checkpoints >= 2 and wall - last >= args.interval / 2:
+                break
+            if wall - last >= args.interval:
+                dbms.checkpoint()
+                last, checkpoints = wall, checkpoints + 1
+        dbms.crash()
+        reports.append((runner.config.display_name, RecoveryManager(dbms).restart()))
+    print(restart_report_table(reports, title="Crash + restart"))
+    return 0
+
+
+def cmd_devices(args) -> int:
+    import random
+
+    from repro.storage.hdd import DiskDevice
+    from repro.storage.raid import Raid0Array
+    from repro.storage.ssd import FlashDevice
+
+    rng = random.Random(args.seed)
+    rows = []
+    for key, profile in TABLE1_PROFILES.items():
+        if "SSD" in profile.name:
+            device = FlashDevice(profile, 1 << 20)
+        elif "RAID" in profile.name:
+            device = Raid0Array(8, capacity_pages=1 << 20)
+        else:
+            device = DiskDevice(profile, 1 << 20)
+        for _ in range(args.ops):
+            device.read(rng.randrange(0, device.capacity_pages))
+        read_iops = args.ops / device.busy_time
+        device.reset_stats()
+        for _ in range(args.ops):
+            device.write(rng.randrange(0, device.capacity_pages))
+        write_iops = args.ops / device.busy_time
+        rows.append((key, round(read_iops), round(write_iops)))
+    print(format_table("Simulated devices (4KB random)",
+                       ["device", "read IOPS", "write IOPS"], rows, width=18))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    policy = _POLICY_NAMES[args.policy]
+    points = []
+    for fraction in args.fractions:
+        sweep_args = argparse.Namespace(**vars(args))
+        sweep_args.cache_fraction = fraction
+        runner = _build_runner(sweep_args, policy)
+        runner.warm_up()
+        result = runner.measure(args.transactions)
+        points.append((fraction * 100, result.tpmc))
+        print(f"# {fraction:.0%}: {result.tpmc:,.0f} tpmC", file=sys.stderr)
+    print(
+        format_series(
+            f"tpmC vs cache size - {policy.value}", "cache %", "tpmC", points
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FaCE (VLDB 2012) reproduction - simulated experiments",
+    )
+    parser.add_argument("--scale", default="bench", help="tiny|bench (default bench)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--cache-fraction", dest="cache_fraction", type=float, default=0.12,
+        help="flash cache as a fraction of the database (default 0.12)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="steady-state TPC-C measurement")
+    run.add_argument("policies", nargs="+", choices=sorted(_POLICY_NAMES))
+    run.add_argument("--transactions", type=int, default=2000)
+    run.set_defaults(func=cmd_run)
+
+    recover = sub.add_parser("recover", help="crash + restart comparison")
+    recover.add_argument("policies", nargs="+", choices=sorted(_POLICY_NAMES))
+    recover.add_argument("--interval", type=float, default=2.0,
+                         help="checkpoint interval in simulated seconds")
+    recover.set_defaults(func=cmd_recover)
+
+    devices = sub.add_parser("devices", help="device-model microbenchmark")
+    devices.add_argument("--ops", type=int, default=2000)
+    devices.set_defaults(func=cmd_devices)
+
+    sweep = sub.add_parser("sweep", help="cache-size sweep for one policy")
+    sweep.add_argument("policy", choices=sorted(_POLICY_NAMES))
+    sweep.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.04, 0.12, 0.20, 0.28]
+    )
+    sweep.add_argument("--transactions", type=int, default=2000)
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

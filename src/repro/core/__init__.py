@@ -1,0 +1,22 @@
+"""Core: system configuration, policy factory, and the simulated DBMS."""
+
+from repro.core.config import CachePolicy, SystemConfig, scaled_reference_config
+from repro.core.dbms import SimulatedDBMS, Transaction
+from repro.core.policies import (
+    build_cache,
+    build_database_device,
+    build_flash_volume,
+    build_log_device,
+)
+
+__all__ = [
+    "CachePolicy",
+    "SimulatedDBMS",
+    "SystemConfig",
+    "Transaction",
+    "build_cache",
+    "build_database_device",
+    "build_flash_volume",
+    "build_log_device",
+    "scaled_reference_config",
+]

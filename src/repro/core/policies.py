@@ -1,0 +1,94 @@
+"""Factory wiring a :class:`SystemConfig` to concrete devices and caches."""
+
+from __future__ import annotations
+
+from repro.core.config import CachePolicy, SystemConfig
+from repro.errors import ConfigError
+from repro.flashcache.base import FlashCacheBase
+from repro.flashcache.exadata import ExadataStyleCache
+from repro.flashcache.group import GroupReplacementCache, GroupSecondChanceCache
+from repro.flashcache.lc import LazyCleaningCache
+from repro.flashcache.metadata import ENTRY_BYTES
+from repro.flashcache.mvfifo import MvFifoCache
+from repro.flashcache.null import NullFlashCache
+from repro.flashcache.tac import TacCache
+from repro.storage.device import Device
+from repro.storage.hdd import DiskDevice
+from repro.storage.profiles import PAGE_SIZE
+from repro.storage.raid import Raid0Array
+from repro.storage.ssd import FlashDevice
+from repro.storage.volume import Volume
+
+
+def build_database_device(config: SystemConfig) -> Device:
+    """The device holding the database proper: RAID-0 disks, or an SSD for
+    the paper's "SSD only" configuration."""
+    if config.ssd_only:
+        return FlashDevice(config.flash_profile, config.disk_capacity_pages)
+    return Raid0Array(
+        config.n_disks, config.disk_profile, config.disk_capacity_pages
+    )
+
+
+def build_log_device(config: SystemConfig) -> Device:
+    """Dedicated WAL device (a single disk, standard OLTP practice)."""
+    return DiskDevice(config.log_profile, config.log_capacity_pages)
+
+
+def _metadata_pages_for(config: SystemConfig) -> int:
+    """Flash pages reserved beyond the cache region for persistent metadata."""
+    segment_pages = max(1, -(-config.segment_entries * ENTRY_BYTES // PAGE_SIZE))
+    live_segments = -(-config.cache_pages // config.segment_entries) + 2
+    return 1 + segment_pages * live_segments
+
+
+def build_flash_volume(config: SystemConfig) -> Volume | None:
+    """The flash caching device, sized for the cache region + metadata."""
+    if not config.cache_policy.uses_flash or config.ssd_only:
+        return None
+    total = config.cache_pages + _metadata_pages_for(config)
+    return Volume(FlashDevice(config.flash_profile, total))
+
+
+def build_cache(
+    config: SystemConfig, flash: Volume | None, disk: Volume
+) -> FlashCacheBase:
+    """Instantiate the configured flash-cache policy."""
+    policy = config.cache_policy
+    if config.ssd_only or policy is CachePolicy.NONE:
+        return NullFlashCache(disk)
+    if flash is None:
+        raise ConfigError(f"policy {policy.value} requires a flash volume")
+    face_options = dict(
+        cache_clean=config.face_cache_clean,
+        write_through=config.face_write_through,
+    )
+    if policy is CachePolicy.FACE:
+        return MvFifoCache(
+            flash, disk, config.cache_pages, config.segment_entries, **face_options
+        )
+    if policy is CachePolicy.FACE_GR:
+        return GroupReplacementCache(
+            flash, disk, config.cache_pages, config.segment_entries,
+            config.scan_depth, **face_options
+        )
+    if policy is CachePolicy.FACE_GSC:
+        return GroupSecondChanceCache(
+            flash, disk, config.cache_pages, config.segment_entries,
+            config.scan_depth, **face_options
+        )
+    if policy is CachePolicy.LC:
+        return LazyCleaningCache(
+            flash, disk, config.cache_pages, config.lc_dirty_threshold
+        )
+    if policy is CachePolicy.TAC:
+        return TacCache(
+            flash,
+            disk,
+            config.cache_pages,
+            config.tac_extent_pages,
+            config.tac_admit_threshold,
+        )
+    if policy is CachePolicy.EXADATA:
+        return ExadataStyleCache(flash, disk, config.cache_pages)
+    raise ConfigError(f"unhandled cache policy {policy!r}")

@@ -1,0 +1,28 @@
+"""Mini page-based storage engine: pages, heaps, catalog, durable hash index."""
+
+from repro.db.btree import BTreeIndex
+from repro.db.catalog import Catalog, IndexInfo, TableInfo
+from repro.db.heap import HeapFile, Rid
+from repro.db.index import HashIndex, PageAccessor, stable_key_hash
+from repro.db.page import Page, PageImage
+from repro.db.schema import Column, ColumnType, TableSchema, float_col, int_col, str_col
+
+__all__ = [
+    "BTreeIndex",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "HashIndex",
+    "HeapFile",
+    "IndexInfo",
+    "Page",
+    "PageAccessor",
+    "PageImage",
+    "Rid",
+    "TableInfo",
+    "TableSchema",
+    "float_col",
+    "int_col",
+    "stable_key_hash",
+    "str_col",
+]

@@ -1,0 +1,243 @@
+"""Durable B+-tree index.
+
+The paper's PostgreSQL database carries B-tree indexes; the reproduction's
+primary-key lookups use hash indexes (O(1) probes match the workload), but
+ordered access — range scans, min/max — needs a real tree.  This one
+complements :class:`~repro.db.index.HashIndex`:
+
+* Nodes are ordinary engine pages inside a catalog-allocated page range;
+  page 0 of the range is a meta node holding the root pointer, the height
+  and the allocation cursor.
+* Every mutation goes through the :class:`~repro.db.index.PageAccessor`
+  protocol — under the engine that means WAL-logged, buffer-cached,
+  flash-cacheable and crash-recoverable *by construction* (redo/undo treat
+  tree nodes like any other page; no special index recovery exists, just
+  as in the rest of the system).
+* Each node keeps its entries in a single slot (one tuple of entries), so
+  a node update is one logged slot change rather than O(fanout) shifts.
+* Keys are tuples compared lexicographically (ints/strings, as produced by
+  :meth:`~repro.db.schema.TableSchema.pk_of`).
+* Deletes remove entries from leaves without rebalancing (standard lazy
+  deletion; the tree never underflows into incorrectness, only into
+  suboptimal occupancy).
+
+Layout of a node page's slots::
+
+    "h" -> (node_type, next_leaf_page)   # next is -1 for interior/last
+    "e" -> ((key, payload...), ...)      # sorted by key
+           leaf payload:     (key, page_id, slot)
+           interior payload: (key, child_page)   # child covers keys >= key
+
+The meta page::
+
+    "m" -> (root_page, height, next_free_page)
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.db.catalog import IndexInfo
+from repro.db.heap import Rid
+from repro.db.index import PageAccessor
+from repro.errors import CatalogError
+
+_LEAF = 0
+_INTERIOR = 1
+_NO_NEXT = -1
+
+#: Default maximum entries per node.  128 ~ a 4 KB page of short keys.
+DEFAULT_FANOUT = 128
+
+
+class BTreeIndex:
+    """A B+-tree over a contiguous page range."""
+
+    def __init__(self, info: IndexInfo, fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 4:
+            raise CatalogError(f"B+-tree fanout must be >= 4, got {fanout}")
+        if info.n_pages < 2:
+            raise CatalogError("a B+-tree needs at least 2 pages (meta + root)")
+        self.info = info
+        self.fanout = fanout
+
+    # -- meta / allocation -----------------------------------------------------
+
+    @property
+    def meta_page(self) -> int:
+        return self.info.first_page
+
+    def create(self, accessor: PageAccessor) -> None:
+        """Initialise an empty tree (meta + one empty root leaf)."""
+        root = self.info.first_page + 1
+        accessor.update_slot(self.meta_page, "m", (root, 1, root + 1))
+        accessor.update_slot(root, "h", (_LEAF, _NO_NEXT))
+        accessor.update_slot(root, "e", ())
+
+    def _meta(self, accessor: PageAccessor) -> tuple[int, int, int]:
+        meta = accessor.read_page(self.meta_page).get("m")
+        if meta is None:
+            raise CatalogError(
+                f"B+-tree {self.info.name!r} not initialised; call create()"
+            )
+        return meta
+
+    def _allocate(self, accessor: PageAccessor) -> int:
+        root, height, next_free = self._meta(accessor)
+        if next_free >= self.info.end_page:
+            raise CatalogError(
+                f"B+-tree {self.info.name!r} exhausted its {self.info.n_pages}"
+                f"-page range; allocate more pages at create_index time"
+            )
+        accessor.update_slot(self.meta_page, "m", (root, height, next_free + 1))
+        return next_free
+
+    # -- node helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _node(accessor: PageAccessor, page_id: int) -> tuple[tuple, tuple]:
+        page = accessor.read_page(page_id)
+        return page.get("h"), page.get("e")
+
+    @staticmethod
+    def _keys(entries: tuple) -> list:
+        return [entry[0] for entry in entries]
+
+    def _find_leaf(self, key: tuple, accessor: PageAccessor) -> tuple[int, list[int]]:
+        """Leaf page covering ``key`` and the root→parent path to it."""
+        root, height, _ = self._meta(accessor)
+        page_id = root
+        path: list[int] = []
+        for _ in range(height - 1):
+            path.append(page_id)
+            header, entries = self._node(accessor, page_id)
+            # Children cover [entry key, next entry key).  The leftmost
+            # separator is the () sentinel (< every key), so the rightmost
+            # separator <= key always exists.
+            position = bisect.bisect_right(self._keys(entries), key) - 1
+            page_id = entries[position][1]
+        return page_id, path
+
+    # -- public operations --------------------------------------------------------
+
+    def insert(self, key: tuple, rid: Rid, accessor: PageAccessor) -> None:
+        """Insert or overwrite the entry for ``key``."""
+        leaf, path = self._find_leaf(key, accessor)
+        header, entries = self._node(accessor, leaf)
+        keys = self._keys(entries)
+        position = bisect.bisect_left(keys, key)
+        new_entry = (key, rid[0], rid[1])
+        if position < len(entries) and entries[position][0] == key:
+            updated = entries[:position] + (new_entry,) + entries[position + 1:]
+        else:
+            updated = entries[:position] + (new_entry,) + entries[position:]
+        accessor.update_slot(leaf, "e", updated)
+        if len(updated) > self.fanout:
+            self._split(leaf, path, accessor)
+
+    def _split(self, page_id: int, path: list[int], accessor: PageAccessor) -> None:
+        header, entries = self._node(accessor, page_id)
+        node_type, next_leaf = header
+        middle = len(entries) // 2
+        left, right = entries[:middle], entries[middle:]
+        separator = right[0][0]
+
+        new_page = self._allocate(accessor)
+        if node_type == _LEAF:
+            accessor.update_slot(new_page, "h", (_LEAF, next_leaf))
+            accessor.update_slot(new_page, "e", right)
+            accessor.update_slot(page_id, "h", (_LEAF, new_page))
+            accessor.update_slot(page_id, "e", left)
+        else:
+            accessor.update_slot(new_page, "h", (_INTERIOR, _NO_NEXT))
+            accessor.update_slot(new_page, "e", right)
+            accessor.update_slot(page_id, "e", left)
+
+        if path:
+            parent = path[-1]
+            _, parent_entries = self._node(accessor, parent)
+            position = bisect.bisect_left(self._keys(parent_entries), separator)
+            updated = (
+                parent_entries[:position]
+                + ((separator, new_page),)
+                + parent_entries[position:]
+            )
+            accessor.update_slot(parent, "e", updated)
+            if len(updated) > self.fanout:
+                self._split(parent, path[:-1], accessor)
+        else:
+            # Splitting the root: grow the tree by one level.  The leftmost
+            # child's separator is the -infinity sentinel: the empty tuple,
+            # which sorts before every real key, so routing never needs a
+            # special case and child order always matches key order.
+            root, height, _ = self._meta(accessor)
+            new_root = self._allocate(accessor)
+            _, _, next_free = self._meta(accessor)
+            accessor.update_slot(new_root, "h", (_INTERIOR, _NO_NEXT))
+            accessor.update_slot(
+                new_root, "e", (((), page_id), (separator, new_page))
+            )
+            accessor.update_slot(self.meta_page, "m", (new_root, height + 1, next_free))
+
+    def search(self, key: tuple, accessor: PageAccessor) -> Rid | None:
+        """Exact-match lookup; returns the rid or ``None``."""
+        leaf, _ = self._find_leaf(key, accessor)
+        _, entries = self._node(accessor, leaf)
+        keys = self._keys(entries)
+        position = bisect.bisect_left(keys, key)
+        if position < len(entries) and entries[position][0] == key:
+            entry = entries[position]
+            return (entry[1], entry[2])
+        return None
+
+    def delete(self, key: tuple, accessor: PageAccessor) -> bool:
+        """Remove ``key``'s entry (lazy: no rebalancing); True if found."""
+        leaf, _ = self._find_leaf(key, accessor)
+        _, entries = self._node(accessor, leaf)
+        keys = self._keys(entries)
+        position = bisect.bisect_left(keys, key)
+        if position >= len(entries) or entries[position][0] != key:
+            return False
+        accessor.update_slot(
+            leaf, "e", entries[:position] + entries[position + 1:]
+        )
+        return True
+
+    def range_scan(
+        self,
+        low: tuple | None,
+        high: tuple | None,
+        accessor: PageAccessor,
+    ) -> Iterator[tuple[tuple, Rid]]:
+        """Yield ``(key, rid)`` for low <= key <= high, in key order.
+
+        ``None`` bounds are open (scan from the smallest / to the largest).
+        """
+        root, height, _ = self._meta(accessor)
+        if low is not None:
+            leaf, _ = self._find_leaf(low, accessor)
+        else:
+            leaf = root
+            for _ in range(height - 1):
+                _, entries = self._node(accessor, leaf)
+                leaf = entries[0][1]
+        while leaf != _NO_NEXT:
+            header, entries = self._node(accessor, leaf)
+            for key, page_id, slot in entries:
+                if low is not None and key < low:
+                    continue
+                if high is not None and key > high:
+                    return
+                yield key, (page_id, slot)
+            leaf = header[1]
+
+    # -- introspection ------------------------------------------------------------
+
+    def height(self, accessor: PageAccessor) -> int:
+        return self._meta(accessor)[1]
+
+    def node_count(self, accessor: PageAccessor) -> int:
+        """Pages allocated so far (excluding the meta page)."""
+        _, _, next_free = self._meta(accessor)
+        return next_free - self.info.first_page - 1

@@ -1,0 +1,85 @@
+"""Heap files: row placement within a table's page range.
+
+A heap file maps dense row numbers to ``(page_id, slot)`` record ids and
+manages the append cursor for growing tables.  It is deliberately free of
+I/O: reading and writing pages is the job of whatever page accessor the
+caller uses (the buffer pool in the full system), so the same heap logic
+serves the loader (which writes page images straight to disk) and the
+transaction engine (which goes through the DRAM buffer and WAL).
+
+Growing tables (ORDER, ORDER-LINE, NEW-ORDER, HISTORY in TPC-C) are given
+headroom at allocation; if a very long run exhausts it, the append cursor
+wraps and recycles the oldest pages.  This keeps unbounded simulations
+runnable and is recorded in DESIGN.md as a deliberate substitution for
+file extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.catalog import TableInfo
+from repro.errors import CatalogError
+
+#: A record id: (page_id, slot-within-page).
+Rid = tuple[int, int]
+
+
+@dataclass
+class HeapFile:
+    """Row-number arithmetic and append-cursor management for one table."""
+
+    info: TableInfo
+    wrapped: bool = False
+
+    @property
+    def slots_per_page(self) -> int:
+        return self.info.schema.slots_per_page
+
+    @property
+    def capacity_rows(self) -> int:
+        """Maximum rows the allocated page range can hold."""
+        return self.info.n_pages * self.slots_per_page
+
+    def rid_for_rownum(self, rownum: int) -> Rid:
+        """Record id of dense row number ``rownum`` (load order)."""
+        if rownum < 0:
+            raise CatalogError(f"negative row number {rownum}")
+        effective = rownum % self.capacity_rows
+        page_offset, slot = divmod(effective, self.slots_per_page)
+        return (self.info.first_page + page_offset, slot)
+
+    def rownum_for_rid(self, rid: Rid) -> int:
+        """Inverse of :meth:`rid_for_rownum` (within the current wrap)."""
+        page_id, slot = rid
+        if not self.info.contains_page(page_id):
+            raise CatalogError(
+                f"rid {rid} outside table {self.info.name!r} page range"
+            )
+        if not 0 <= slot < self.slots_per_page:
+            raise CatalogError(f"slot {slot} out of range for {self.info.name!r}")
+        return (page_id - self.info.first_page) * self.slots_per_page + slot
+
+    def append_rid(self) -> Rid:
+        """Allocate the next record id and advance the append cursor.
+
+        Wraps to the start of the range when headroom is exhausted (the
+        oldest rows are recycled); ``wrapped`` records that this happened.
+        """
+        rownum = self.info.row_count
+        if rownum >= self.capacity_rows:
+            self.wrapped = True
+        rid = self.rid_for_rownum(rownum)
+        self.info.row_count += 1
+        return rid
+
+    def page_ids(self) -> range:
+        """All page ids in this table's range."""
+        return range(self.info.first_page, self.info.end_page)
+
+    def used_page_ids(self) -> range:
+        """Page ids that actually hold rows (for loaders and scans)."""
+        if self.wrapped or self.info.row_count >= self.capacity_rows:
+            return self.page_ids()
+        used_pages = -(-self.info.row_count // self.slots_per_page) if self.info.row_count else 0
+        return range(self.info.first_page, self.info.first_page + used_pages)

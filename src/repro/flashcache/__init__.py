@@ -1,0 +1,37 @@
+"""Flash-cache policies: FaCE (mvFIFO / GR / GSC) and all baselines."""
+
+from repro.flashcache.base import CacheStats, FlashCacheBase, RecoveryTimings
+from repro.flashcache.directory import FifoDirectory, SlotMeta
+from repro.flashcache.exadata import ExadataStyleCache
+from repro.flashcache.group import GroupReplacementCache, GroupSecondChanceCache
+from repro.flashcache.lc import LazyCleaningCache
+from repro.flashcache.lru2 import Lru2Policy
+from repro.flashcache.metadata import (
+    ENTRY_BYTES,
+    CacheSlotImage,
+    MetadataManager,
+    build_metadata_region,
+)
+from repro.flashcache.mvfifo import MvFifoCache
+from repro.flashcache.null import NullFlashCache
+from repro.flashcache.tac import TacCache
+
+__all__ = [
+    "CacheSlotImage",
+    "CacheStats",
+    "ENTRY_BYTES",
+    "ExadataStyleCache",
+    "FifoDirectory",
+    "FlashCacheBase",
+    "GroupReplacementCache",
+    "GroupSecondChanceCache",
+    "LazyCleaningCache",
+    "Lru2Policy",
+    "MetadataManager",
+    "MvFifoCache",
+    "NullFlashCache",
+    "RecoveryTimings",
+    "SlotMeta",
+    "TacCache",
+    "build_metadata_region",
+]

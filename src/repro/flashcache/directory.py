@@ -1,0 +1,184 @@
+"""In-DRAM directory for the mvFIFO flash cache.
+
+The flash cache is a circular queue of page frames.  Positions are tracked
+as *virtual* sequence numbers (monotonically increasing enqueue counters);
+the physical flash LBA of virtual position ``v`` is ``v % capacity``.  Since
+the queue never holds more than ``capacity`` live slots, virtual→physical is
+injective over the live window and wrap-around needs no special cases.
+
+Per-slot metadata implements the paper's flags (Section 3.3):
+
+* ``valid``  — this slot holds the *newest* cached version of its page.
+  Enqueueing a page invalidates its previous version (no I/O, Figure 2).
+* ``dirty``  — the cached version is newer than the disk copy.
+* ``referenced`` — the page was hit while cached; consumed by Group Second
+  Chance.
+
+Invariant (property-tested): for every page id, at most one live slot is
+valid, and it is the most recently enqueued one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheError
+
+
+@dataclass
+class SlotMeta:
+    """RAM-resident metadata for one live queue slot."""
+
+    page_id: int
+    lsn: int
+    dirty: bool
+    valid: bool = True
+    referenced: bool = False
+
+
+class FifoDirectory:
+    """Virtual-position circular-queue bookkeeping plus the page→slot map."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CacheError(f"flash cache needs >= 1 page, got {capacity}")
+        self.capacity = capacity
+        self.front = 0  # virtual position of the oldest live slot
+        self.rear = 0  # virtual position the next enqueue will take
+        self._meta: dict[int, SlotMeta] = {}  # virtual position -> meta
+        self._valid_pos: dict[int, int] = {}  # page_id -> virtual position
+
+    # -- sizing ---------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Live slots currently in the queue."""
+        return self.rear - self.front
+
+    @property
+    def is_full(self) -> bool:
+        return self.size >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self.size
+
+    def physical(self, position: int) -> int:
+        """Flash LBA (within the cache region) of virtual ``position``."""
+        return position % self.capacity
+
+    # -- enqueue / dequeue ------------------------------------------------------
+
+    def enqueue(self, page_id: int, lsn: int, dirty: bool) -> int:
+        """Append metadata for a new version; returns its virtual position.
+
+        Invalidates the previous valid version of ``page_id`` if any —
+        a pure metadata operation, deliberately free of I/O.
+        """
+        if self.is_full:
+            raise CacheError("enqueue into full queue; dequeue first")
+        previous = self._valid_pos.get(page_id)
+        if previous is not None:
+            self._meta[previous].valid = False
+        position = self.rear
+        self._meta[position] = SlotMeta(page_id=page_id, lsn=lsn, dirty=dirty)
+        self._valid_pos[page_id] = position
+        self.rear += 1
+        return position
+
+    def invalidate(self, page_id: int) -> bool:
+        """Mark the cached version of ``page_id`` stale (metadata only).
+
+        Called by the enqueue path *before* a replacement victim is chosen,
+        so that a superseded front slot is discarded instead of being
+        flushed to disk.  Returns whether a version existed.
+        """
+        position = self._valid_pos.pop(page_id, None)
+        if position is None:
+            return False
+        self._meta[position].valid = False
+        return True
+
+    def dequeue(self) -> tuple[int, SlotMeta]:
+        """Remove and return the front slot's ``(virtual position, meta)``."""
+        if self.size == 0:
+            raise CacheError("dequeue from empty queue")
+        position = self.front
+        meta = self._meta.pop(position)
+        if meta.valid and self._valid_pos.get(meta.page_id) == position:
+            del self._valid_pos[meta.page_id]
+        self.front += 1
+        return position, meta
+
+    # -- lookups ------------------------------------------------------------
+
+    def valid_position(self, page_id: int) -> int | None:
+        """Virtual position of the valid copy of ``page_id``, if cached."""
+        return self._valid_pos.get(page_id)
+
+    def meta_at(self, position: int) -> SlotMeta:
+        try:
+            return self._meta[position]
+        except KeyError:
+            raise CacheError(f"no live slot at virtual position {position}") from None
+
+    def contains_valid(self, page_id: int) -> bool:
+        return page_id in self._valid_pos
+
+    # -- statistics over live slots --------------------------------------------
+
+    @property
+    def valid_count(self) -> int:
+        return len(self._valid_pos)
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of live slots holding superseded versions.
+
+        The paper reports 30-40% duplicates for an 8 GB FaCE cache; this is
+        the measured counterpart.
+        """
+        if self.size == 0:
+            return 0.0
+        return 1.0 - self.valid_count / self.size
+
+    def live_positions(self) -> range:
+        """Virtual positions currently live, front→rear order."""
+        return range(self.front, self.rear)
+
+    # -- crash ---------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Lose everything (RAM-resident); recovery rebuilds from flash."""
+        self.front = 0
+        self.rear = 0
+        self._meta.clear()
+        self._valid_pos.clear()
+
+    def restore(
+        self,
+        front: int,
+        rear: int,
+        entries: list[tuple[int, int, int, bool]],
+    ) -> None:
+        """Rebuild the directory from recovered metadata.
+
+        ``entries`` is ``(virtual position, page_id, lsn, dirty)`` in enqueue
+        order; later entries win validity, reproducing the invalidation
+        history without having logged invalidations.
+        """
+        self.wipe()
+        self.front = front
+        self.rear = rear
+        for position, page_id, lsn, dirty in entries:
+            if not front <= position < rear:
+                continue  # already dequeued before the crash
+            meta = SlotMeta(page_id=page_id, lsn=lsn, dirty=dirty)
+            self._meta[position] = meta
+            previous = self._valid_pos.get(page_id)
+            if previous is not None and previous < position:
+                self._meta[previous].valid = False
+            if previous is None or previous < position:
+                self._valid_pos[page_id] = position
+            else:
+                meta.valid = False

@@ -1,0 +1,96 @@
+"""Exadata-style flash cache (Table 2, column 1).
+
+Oracle Exadata's Smart Flash Cache as characterised by the paper: pages are
+cached **on entry** (when fetched from disk), only **clean** data is kept,
+synchronisation is **write-through** (an updated page's cached copy is
+simply invalidated; disk receives every dirty eviction), and replacement is
+plain **LRU**.  Hot-data selection by object type (tables/indexes over
+logs/backups) is outside the scope of the page-level simulation — every
+data page is eligible, which matches the workload we drive (tables and
+indexes only).
+
+Cache metadata is volatile: after a crash the cache restarts cold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.buffer.frame import Frame
+from repro.db.page import PageImage
+from repro.errors import CacheError
+from repro.flashcache.base import FlashCacheBase, RecoveryTimings
+from repro.storage.volume import Volume
+
+
+class ExadataStyleCache(FlashCacheBase):
+    """On-entry, clean-only, write-through, LRU flash cache."""
+
+    name = "Exadata"
+
+    def __init__(self, flash: Volume, disk: Volume, capacity: int) -> None:
+        super().__init__(flash, disk)
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1 page, got {capacity}")
+        self.capacity = capacity
+        self._slot_of: "OrderedDict[int, int]" = OrderedDict()  # LRU order
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+
+    # -- read path ------------------------------------------------------------
+
+    def lookup_fetch(self, page_id: int) -> tuple[PageImage, bool] | None:
+        self.stats.lookups += 1
+        lba = self._slot_of.get(page_id)
+        if lba is None:
+            return None
+        self._slot_of.move_to_end(page_id)
+        image = self.flash.read_page(lba)
+        self.stats.hits += 1
+        return image, False  # clean by construction
+
+    # -- on-entry admission -------------------------------------------------------
+
+    def on_fetch_from_disk(self, image: PageImage) -> None:
+        if image.page_id in self._slot_of:
+            return
+        if self._free:
+            lba = self._free.pop()
+        else:
+            _, lba = self._slot_of.popitem(last=False)  # LRU victim, clean: free
+        self._slot_of[image.page_id] = lba
+        self.flash.write_page(lba, image)
+        self.stats.flash_writes += 1
+
+    # -- write path ---------------------------------------------------------
+
+    def on_dram_evict(self, frame: Frame) -> None:
+        self._count_eviction(frame)
+        if frame.dirty or frame.fdirty:
+            self._write_disk(frame.page.to_image())
+            # Only clean pages are cached: drop the now-stale copy.
+            stale = self._slot_of.pop(frame.page_id, None)
+            if stale is not None:
+                self._free.append(stale)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_frame(self, frame: Frame) -> None:
+        self._write_disk(frame.page.to_image())
+        stale = self._slot_of.pop(frame.page_id, None)
+        if stale is not None:
+            self._free.append(stale)
+        frame.dirty = False
+        frame.fdirty = False
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        self._slot_of.clear()
+        self._free = list(range(self.capacity - 1, -1, -1))
+
+    def recover(self) -> RecoveryTimings:
+        return RecoveryTimings(cache_survives=False)
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._slot_of)

@@ -1,0 +1,63 @@
+"""LRU-2 replacement policy.
+
+The Lazy Cleaning baseline manages its flash cache with LRU-2 (the paper,
+Section 2.3, citing Do et al.): the victim is the page whose *second* most
+recent reference is oldest; pages referenced only once rank behind all
+twice-referenced pages, ordered by their single reference time.  This
+resists the scan-flooding that plain LRU suffers in a second-level cache.
+
+Implemented with a lazy-deletion heap: each touch pushes the key's current
+priority; stale heap entries are skipped at pop time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.errors import CacheError
+
+_NEVER = -1  # stands in for "-infinity": no second-to-last reference yet
+
+
+class Lru2Policy:
+    """Tracks reference history and picks LRU-2 victims."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+        #: key -> (second-most-recent time or _NEVER, most-recent time)
+        self._history: dict[Hashable, tuple[int, int]] = {}
+        self._heap: list[tuple[int, int, Hashable]] = []
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._history
+
+    def touch(self, key: Hashable) -> None:
+        """Record a reference to ``key`` (inserting it if new)."""
+        self._clock += 1
+        previous = self._history.get(key)
+        penultimate = previous[1] if previous is not None else _NEVER
+        entry = (penultimate, self._clock)
+        self._history[key] = entry
+        heapq.heappush(self._heap, (entry[0], entry[1], key))
+
+    def remove(self, key: Hashable) -> None:
+        """Forget ``key`` (stale heap entries are skipped lazily)."""
+        self._history.pop(key, None)
+
+    def victim(self) -> Hashable:
+        """Return (and forget) the LRU-2 victim among tracked keys."""
+        while self._heap:
+            penultimate, last, key = heapq.heappop(self._heap)
+            current = self._history.get(key)
+            if current == (penultimate, last):
+                del self._history[key]
+                return key
+        raise CacheError("victim() called with no tracked keys")
+
+    def keys_coldest_first(self) -> list[Hashable]:
+        """All tracked keys ordered coldest → hottest (for cleaners)."""
+        return sorted(self._history, key=lambda k: self._history[k])

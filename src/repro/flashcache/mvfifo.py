@@ -1,0 +1,182 @@
+"""Multi-Version FIFO flash cache — the core FaCE policy (Algorithm 1).
+
+The cache region of the flash device is a circular queue:
+
+* **Enqueue on DRAM eviction.**  A dirty (``fdirty``) page is enqueued
+  unconditionally; a clean page only if no identical copy is already cached
+  (conditional enqueue).  Enqueueing invalidates the previous version —
+  a metadata-only operation, never an I/O.  All enqueues land at the rear,
+  so flash writes are append-only/sequential.
+* **Dequeue at the front.**  A dequeued page is written to disk only if it
+  is both *valid* (newest version) and *dirty* (newer than disk); stale
+  versions and clean pages are discarded for free.  This is how write-back
+  plus multi-versioning converts many disk writes into sequential flash
+  writes followed by a single deferred disk write.
+* **Recovery.**  Every enqueue is recorded in the persistent metadata
+  directory (:mod:`repro.flashcache.metadata`); dirty pages staged in the
+  cache count as propagated to the persistent database (Section 4).
+"""
+
+from __future__ import annotations
+
+from repro.buffer.frame import Frame
+from repro.db.page import PageImage
+from repro.errors import CacheError
+from repro.flashcache.base import FlashCacheBase, RecoveryTimings
+from repro.flashcache.directory import FifoDirectory
+from repro.flashcache.metadata import CacheSlotImage, MetadataManager, unwrap_image
+from repro.storage.volume import Volume
+
+
+class MvFifoCache(FlashCacheBase):
+    """Plain FaCE: mvFIFO replacement, one-slot-at-a-time dequeue."""
+
+    name = "FaCE"
+
+    def __init__(
+        self,
+        flash: Volume,
+        disk: Volume,
+        capacity: int,
+        segment_entries: int = 64_000,
+        cache_clean: bool = True,
+        write_through: bool = False,
+    ) -> None:
+        """``cache_clean`` and ``write_through`` are the Section 3.2 design
+        alternatives ("Caching Clean and Dirty", "Write-Back than
+        Write-Through"), kept as switches for the ablation benchmarks; the
+        paper's choices — cache both, write back — are the defaults."""
+        super().__init__(flash, disk)
+        self.cache_clean = cache_clean
+        self.write_through = write_through
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1 page, got {capacity}")
+        meta_pages = flash.capacity_pages - capacity
+        if meta_pages < 2:
+            raise CacheError(
+                f"flash volume of {flash.capacity_pages} pages leaves no room "
+                f"for metadata beyond a {capacity}-page cache region"
+            )
+        self.capacity = capacity
+        self.directory = FifoDirectory(capacity)
+        # Restart correctness requires the unflushed metadata tail (always
+        # < segment_entries enqueues) to fit inside the two-segment rear
+        # scan *before the queue can wrap*, i.e. segment_entries <=
+        # capacity/2.  The paper's configuration satisfies this by far
+        # (64,000-entry segments vs. million-page caches); tiny test caches
+        # get clamped.
+        effective_segment = max(1, min(segment_entries, capacity // 2))
+        self.metadata = MetadataManager(
+            flash,
+            cache_capacity=capacity,
+            meta_base=capacity,
+            meta_pages=meta_pages,
+            segment_entries=effective_segment,
+        )
+
+    # -- read path ------------------------------------------------------------
+
+    def lookup_fetch(self, page_id: int) -> tuple[PageImage, bool] | None:
+        self.stats.lookups += 1
+        position = self.directory.valid_position(page_id)
+        if position is None:
+            return None
+        meta = self.directory.meta_at(position)
+        meta.referenced = True
+        image = self._read_slot(position)
+        self.stats.hits += 1
+        return image, meta.dirty
+
+    def _read_slot(self, position: int) -> PageImage:
+        """Physically read the page at a live queue position."""
+        slot = self.flash.read_page(self.directory.physical(position))
+        return unwrap_image(slot)
+
+    # -- write path -----------------------------------------------------------
+
+    def on_dram_evict(self, frame: Frame) -> None:
+        self._count_eviction(frame)
+        self._handle_eviction(frame)
+
+    def _handle_eviction(self, frame: Frame) -> None:
+        """Algorithm 1's enqueue rule: unconditional when the DRAM copy is
+        newer than the cached one (``fdirty``), conditional — skip if an
+        identical copy is already cached — otherwise."""
+        is_dirty = frame.dirty or frame.fdirty
+        if is_dirty and self.write_through:
+            # Ablation: write-through pays a disk write per dirty eviction
+            # and the cached copy enters in sync with disk.
+            self._write_disk(frame.page.to_image())
+            if frame.fdirty or not self.directory.contains_valid(frame.page_id):
+                self._enqueue(frame.page.to_image(), dirty=False)
+            else:
+                self.stats.skipped_enqueues += 1
+            return
+        if not is_dirty and not self.cache_clean:
+            return  # ablation: dirty-only admission discards clean victims
+        if frame.fdirty or not self.directory.contains_valid(frame.page_id):
+            self._enqueue(frame.page.to_image(), dirty=is_dirty)
+        else:
+            self.stats.skipped_enqueues += 1
+
+    def _enqueue(self, image: PageImage, dirty: bool) -> None:
+        # Invalidate the previous version *before* choosing a victim: if the
+        # front slot is that very version it is now discarded for free
+        # instead of being redundantly flushed to disk.
+        self.directory.invalidate(image.page_id)
+        if self.directory.is_full:
+            self._make_room(1)
+        position = self.directory.enqueue(image.page_id, image.lsn, dirty)
+        self._write_slot(position, CacheSlotImage(position, dirty, image))
+        self.metadata.note_enqueue(position, image.page_id, image.lsn, dirty)
+        self.stats.flash_writes += 1
+
+    def _write_slot(self, position: int, slot: CacheSlotImage) -> None:
+        """Physically append one slot at the rear (sequential flash write)."""
+        self.flash.write_page(self.directory.physical(position), slot)
+
+    def _make_room(self, needed: int) -> None:
+        """Dequeue until at least ``needed`` slots are free (one at a time)."""
+        while self.directory.free_slots < needed:
+            position, meta = self.directory.dequeue()
+            if meta.valid and meta.dirty:
+                image = self._read_slot(position)
+                self._write_disk(image)
+            elif meta.dirty and not meta.valid:
+                self.stats.invalidated_dirty += 1
+            # valid-clean and invalid-clean slots are discarded for free.
+        self.metadata.note_front(self.directory.front)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_frame(self, frame: Frame) -> None:
+        """Database checkpoint: flush the dirty frame *into the flash cache*
+        (Section 4.1) — disk is not touched.
+
+        After this the DRAM and flash copies are synced (``fdirty`` drops)
+        but disk may still be stale (``dirty`` is preserved on the frame and
+        carried by the cache slot).
+        """
+        if frame.fdirty or not self.directory.contains_valid(frame.page_id):
+            self._enqueue(frame.page.to_image(), dirty=frame.dirty)
+            self.stats.checkpoint_writes += 1
+        frame.fdirty = False
+
+    def finish_checkpoint(self) -> None:
+        """Plain mvFIFO writes through on enqueue; nothing is staged."""
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        self.directory.wipe()
+        self.metadata.crash()
+
+    def recover(self) -> RecoveryTimings:
+        return self.metadata.recover(self.directory)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def duplicate_fraction(self) -> float:
+        """Fraction of live cache slots that hold superseded versions."""
+        return self.directory.duplicate_fraction

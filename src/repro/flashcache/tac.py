@@ -1,0 +1,186 @@
+"""Temperature-Aware Caching (TAC) — the IBM DB2 bufferpool-extension baseline.
+
+As characterised in Sections 2.3 and 4.1 of the paper (citing Canim et al.
+and Bhattacharjee et al.):
+
+* **on entry**: pages are considered for caching when they are fetched from
+  disk into the DRAM buffer;
+* **temperature-aware admission**: access counts are maintained per *extent*
+  (a fixed group of contiguous pages); a page is admitted only once its
+  extent is warm (has been accessed at least ``admit_threshold`` times);
+* **write-through**: a dirty page evicted from DRAM is written to disk *and*
+  its flash copy (if cached) is refreshed — so the flash cache never reduces
+  disk writes, only disk reads;
+* **persistent per-entry metadata**: every page entering or leaving the
+  cache updates one slot-directory entry in flash, costing *two random
+  flash writes* (invalidation + validation).  This is the overhead FaCE's
+  segmented metadata checkpointing is designed to avoid;
+* replacement evicts the page from the coldest extent (temperature order,
+  ties by LRU); the victim is always in sync with disk, so eviction is free
+  of data I/O (only the metadata writes).
+
+Because the metadata directory is persistent and the cache is write-through,
+the cache contents survive a crash and are immediately usable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.buffer.frame import Frame
+from repro.db.page import PageImage
+from repro.errors import CacheError
+from repro.flashcache.base import FlashCacheBase, RecoveryTimings
+from repro.storage.profiles import PAGE_SIZE
+from repro.storage.volume import Volume
+
+#: Bytes per slot-directory entry (same 24-byte entries as FaCE's directory).
+_ENTRY_BYTES = 24
+
+
+class TacCache(FlashCacheBase):
+    """On-entry, write-through, temperature-aware flash cache."""
+
+    name = "TAC"
+
+    def __init__(
+        self,
+        flash: Volume,
+        disk: Volume,
+        capacity: int,
+        extent_pages: int = 32,
+        admit_threshold: int = 2,
+    ) -> None:
+        super().__init__(flash, disk)
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1 page, got {capacity}")
+        directory_pages = max(1, -(-capacity * _ENTRY_BYTES // PAGE_SIZE))
+        if flash.capacity_pages < capacity + directory_pages:
+            raise CacheError(
+                f"flash volume of {flash.capacity_pages} pages cannot hold a "
+                f"{capacity}-page cache plus its {directory_pages}-page directory"
+            )
+        self.capacity = capacity
+        self.extent_pages = extent_pages
+        self.admit_threshold = admit_threshold
+        self._directory_base = capacity
+        self._directory_pages = directory_pages
+        self._slot_of: "OrderedDict[int, int]" = OrderedDict()  # page_id -> LBA, LRU order
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self._temperature: dict[int, int] = {}
+        self.metadata_writes = 0
+
+    # -- temperature ----------------------------------------------------------
+
+    def _extent(self, page_id: int) -> int:
+        return page_id // self.extent_pages
+
+    def _warm(self, page_id: int) -> bool:
+        return self._temperature.get(self._extent(page_id), 0) >= self.admit_threshold
+
+    def note_access(self, page_id: int) -> None:
+        """Feed the temperature monitor (called on every logical access)."""
+        extent = self._extent(page_id)
+        self._temperature[extent] = self._temperature.get(extent, 0) + 1
+
+    # -- persistent metadata ------------------------------------------------------
+
+    def _update_directory_entry(self, lba: int) -> None:
+        """Persist one slot-directory change: invalidate + validate, i.e.
+        two random flash writes (Section 4.1's criticism of TAC)."""
+        entry_page = self._directory_base + (
+            (lba * _ENTRY_BYTES) // PAGE_SIZE
+        ) % self._directory_pages
+        self.flash.device.write(entry_page, 1)
+        self.flash.device.write(entry_page, 1)
+        self.metadata_writes += 2
+
+    # -- read path ------------------------------------------------------------
+
+    def lookup_fetch(self, page_id: int) -> tuple[PageImage, bool] | None:
+        self.stats.lookups += 1
+        self.note_access(page_id)
+        lba = self._slot_of.get(page_id)
+        if lba is None:
+            return None
+        self._slot_of.move_to_end(page_id)
+        image = self.flash.read_page(lba)
+        self.stats.hits += 1
+        return image, False  # write-through: flash copy == disk copy
+
+    # -- on-entry admission -------------------------------------------------------
+
+    def on_fetch_from_disk(self, image: PageImage) -> None:
+        """Admit warm pages as they enter the DRAM buffer from disk."""
+        if image.page_id in self._slot_of or not self._warm(image.page_id):
+            return
+        lba = self._acquire_slot()
+        self._slot_of[image.page_id] = lba
+        self.flash.write_page(lba, image)  # random flash write
+        self.stats.flash_writes += 1
+        self._update_directory_entry(lba)
+
+    def _acquire_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        victim = self._coldest_cached()
+        lba = self._slot_of.pop(victim)
+        self._update_directory_entry(lba)  # invalidate the departing entry
+        return lba  # victim is in sync with disk: no data I/O
+
+    def _coldest_cached(self) -> int:
+        """Victim = cached page in the coldest extent, LRU within ties."""
+        return min(
+            self._slot_of,
+            key=lambda pid: self._temperature.get(self._extent(pid), 0),
+        )
+
+    # -- write path ---------------------------------------------------------
+
+    def on_dram_evict(self, frame: Frame) -> None:
+        self._count_eviction(frame)
+        if not (frame.dirty or frame.fdirty):
+            return  # clean page: cached copy (if any) is already current
+        image = frame.page.to_image()
+        self._write_disk(image)  # write-through: disk always gets the page
+        lba = self._slot_of.get(frame.page_id)
+        if lba is not None:
+            self.flash.write_page(lba, image)  # refresh cached copy in place
+            self.stats.flash_writes += 1
+            self._update_directory_entry(lba)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_frame(self, frame: Frame) -> None:
+        """Write-through discipline applies to checkpoints as well."""
+        image = frame.page.to_image()
+        self._write_disk(image)
+        lba = self._slot_of.get(frame.page_id)
+        if lba is not None:
+            self.flash.write_page(lba, image)
+            self.stats.flash_writes += 1
+            self._update_directory_entry(lba)
+        frame.dirty = False
+        frame.fdirty = False
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """The slot directory is persistent: only temperatures are lost."""
+        self._temperature.clear()
+
+    def recover(self) -> RecoveryTimings:
+        """Reload the slot directory from flash (sequential read)."""
+        before = self.flash.device.busy_time
+        self.flash.device.read(self._directory_base, self._directory_pages)
+        return RecoveryTimings(
+            metadata_restore_time=self.flash.device.busy_time - before,
+            segment_pages_read=self._directory_pages,
+            cache_survives=True,
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._slot_of)

@@ -1,0 +1,5 @@
+"""Crash recovery: the Section 4.2 restart sequence."""
+
+from repro.recovery.restart import RecoveryManager, RestartReport, crash_and_restart
+
+__all__ = ["RecoveryManager", "RestartReport", "crash_and_restart"]

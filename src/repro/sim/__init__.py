@@ -1,0 +1,23 @@
+"""Simulation measurement layer: runs, crash schedules, traces, series."""
+
+from repro.sim.crashes import CrashRun, crash_mid_interval, run_until_mid_interval
+from repro.sim.metrics import ThroughputSample, ThroughputSeries
+from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
+from repro.sim.sweep import Sweep, SweepResults
+from repro.sim.trace import IOTracer, TraceEvent, replay
+
+__all__ = [
+    "CrashRun",
+    "ExperimentRunner",
+    "IOTracer",
+    "RunResult",
+    "Sweep",
+    "SweepResults",
+    "ThroughputSample",
+    "ThroughputSeries",
+    "TraceEvent",
+    "crash_mid_interval",
+    "replay",
+    "run_steady_state",
+    "run_until_mid_interval",
+]

@@ -1,0 +1,80 @@
+"""Crash scheduling helpers for recovery experiments.
+
+The paper's protocol (Section 5.5): run with a fixed checkpoint interval
+and issue the kill at the *mid-point* of a checkpoint interval.  This
+module packages that loop so benchmarks, examples and tests share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.recovery.restart import RecoveryManager, RestartReport
+from repro.sim.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class CrashRun:
+    """What happened before and after one scheduled crash."""
+
+    transactions_before_crash: int
+    checkpoints_before_crash: int
+    crash_wall_seconds: float
+    report: RestartReport
+
+
+def run_until_mid_interval(
+    runner: ExperimentRunner,
+    checkpoint_interval: float,
+    min_checkpoints: int = 2,
+    max_transactions: int = 60_000,
+) -> tuple[int, int]:
+    """Drive the workload with periodic checkpoints until the mid-point of
+    an interval after at least ``min_checkpoints`` checkpoints.
+
+    Returns ``(transactions executed, checkpoints taken)``.  The caller
+    owns the crash itself.
+    """
+    if checkpoint_interval <= 0:
+        raise ConfigError("checkpoint_interval must be positive")
+    dbms = runner.dbms
+    last_checkpoint = 0.0
+    checkpoints = 0
+    executed = 0
+    while executed < max_transactions:
+        runner.driver.run_one()
+        executed += 1
+        wall = dbms.wall_clock()
+        if (
+            checkpoints >= min_checkpoints
+            and wall - last_checkpoint >= checkpoint_interval / 2
+        ):
+            break
+        if wall - last_checkpoint >= checkpoint_interval:
+            dbms.checkpoint()
+            last_checkpoint = wall
+            checkpoints += 1
+    return executed, checkpoints
+
+
+def crash_mid_interval(
+    runner: ExperimentRunner,
+    checkpoint_interval: float,
+    min_checkpoints: int = 2,
+    max_transactions: int = 60_000,
+) -> CrashRun:
+    """The full Section 5.5 protocol: run, kill mid-interval, restart."""
+    executed, checkpoints = run_until_mid_interval(
+        runner, checkpoint_interval, min_checkpoints, max_transactions
+    )
+    wall = runner.dbms.wall_clock()
+    runner.dbms.crash()
+    report = RecoveryManager(runner.dbms).restart()
+    return CrashRun(
+        transactions_before_crash=executed,
+        checkpoints_before_crash=checkpoints,
+        crash_wall_seconds=wall,
+        report=report,
+    )

@@ -1,0 +1,52 @@
+"""Measurement helpers: windowed throughput series (paper Figure 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One (simulated time, cumulative New-Order commits) observation."""
+
+    wall_seconds: float
+    neworder_commits: int
+
+
+@dataclass
+class ThroughputSeries:
+    """Time-varying tpmC, as plotted in the paper's Figure 6.
+
+    Samples are cumulative observations; :meth:`windowed_tpmc` turns them
+    into per-window New-Order commit rates.
+    """
+
+    samples: list[ThroughputSample] = field(default_factory=list)
+
+    def record(self, wall_seconds: float, neworder_commits: int) -> None:
+        self.samples.append(ThroughputSample(wall_seconds, neworder_commits))
+
+    def windowed_tpmc(self, window_seconds: float) -> list[tuple[float, float]]:
+        """Return ``(window end time, tpmC within that window)`` pairs."""
+        if window_seconds <= 0 or not self.samples:
+            return []
+        out: list[tuple[float, float]] = []
+        boundary = window_seconds
+        commits_at_boundary = 0
+        last_commits = 0
+        for sample in self.samples:
+            while sample.wall_seconds > boundary:
+                delta = last_commits - commits_at_boundary
+                out.append((boundary, delta * 60.0 / window_seconds))
+                commits_at_boundary = last_commits
+                boundary += window_seconds
+            last_commits = sample.neworder_commits
+        if last_commits > commits_at_boundary:
+            out.append(
+                (boundary, (last_commits - commits_at_boundary) * 60.0 / window_seconds)
+            )
+        return out
+
+    @property
+    def final_commits(self) -> int:
+        return self.samples[-1].neworder_commits if self.samples else 0

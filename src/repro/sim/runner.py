@@ -1,0 +1,169 @@
+"""Experiment runner: build a system, warm it up, measure steady state.
+
+Mirrors the paper's measurement discipline (Section 5.2): results are taken
+after the flash cache is fully populated; device and cache counters are
+reset at the warm-up/measurement boundary; checkpoints fire on a simulated-
+time interval during measured runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.dbms import SimulatedDBMS
+from repro.sim.metrics import ThroughputSeries
+from repro.tpcc.driver import TpccDriver
+from repro.tpcc.loader import TpccDatabase, load_tpcc
+from repro.tpcc.scale import ScaleProfile
+
+
+@dataclass
+class RunResult:
+    """Steady-state measurements of one configuration (one table cell)."""
+
+    name: str
+    transactions: int
+    wall_seconds: float
+    tpmc: float
+    dram_hit_rate: float
+    flash_hit_rate: float
+    write_reduction: float
+    utilization: dict[str, float] = field(default_factory=dict)
+    flash_page_iops: float = 0.0
+    disk_page_iops: float = 0.0
+    duplicate_fraction: float = 0.0
+    resource_times: dict[str, float] = field(default_factory=dict)
+    cache_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def flash_utilization(self) -> float:
+        return self.utilization.get("flash", 0.0)
+
+
+class ExperimentRunner:
+    """Owns one (config, scale) system-under-test end to end."""
+
+    def __init__(
+        self, config: SystemConfig, scale: ScaleProfile, seed: int = 42
+    ) -> None:
+        self.config = config
+        self.scale = scale
+        self.seed = seed
+        self.dbms = SimulatedDBMS(config)
+        self.database: TpccDatabase = load_tpcc(self.dbms, scale, seed=seed)
+        self.driver = TpccDriver(self.database, seed=seed + 1)
+        self._last_checkpoint_wall = 0.0
+
+    # -- warm-up ----------------------------------------------------------------
+
+    def warm_up(self, min_transactions: int = 500, max_transactions: int = 50_000) -> int:
+        """Run until the flash cache is populated (Section 5.2), then reset.
+
+        Returns the number of warm-up transactions executed.
+        """
+        executed = 0
+        while executed < min_transactions or (
+            executed < max_transactions and not self._cache_populated()
+        ):
+            self.driver.run_one()
+            executed += 1
+        self.dbms.reset_measurements()
+        self.driver.stats.reset()
+        self._last_checkpoint_wall = 0.0
+        return executed
+
+    def _cache_populated(self) -> bool:
+        cache = self.dbms.cache
+        directory = getattr(cache, "directory", None)
+        if directory is not None:  # mvFIFO family
+            return directory.is_full
+        capacity = getattr(cache, "capacity", None)
+        cached = getattr(cache, "cached_pages", None)
+        if capacity is not None and cached is not None:  # LC/TAC/Exadata
+            return cached >= capacity * 0.95
+        return True  # no cache to populate
+
+    # -- measurement ----------------------------------------------------------
+
+    def measure(
+        self,
+        n_transactions: int,
+        checkpoint_interval: float | None = None,
+        series: ThroughputSeries | None = None,
+        sample_every: int = 50,
+    ) -> RunResult:
+        """Run ``n_transactions`` in the measured region and summarise."""
+        executed_at_sample = 0
+
+        def tick() -> None:
+            nonlocal executed_at_sample
+            if checkpoint_interval is not None:
+                wall = self.dbms.wall_clock()
+                if wall - self._last_checkpoint_wall >= checkpoint_interval:
+                    self.dbms.checkpoint()
+                    self._last_checkpoint_wall = wall
+            if series is not None:
+                executed_at_sample += 1
+                if executed_at_sample % sample_every == 0:
+                    series.record(
+                        self.dbms.wall_clock(), self.driver.stats.neworder_commits
+                    )
+
+        self.driver.run(n_transactions, checkpointer=tick)
+        if series is not None:
+            series.record(self.dbms.wall_clock(), self.driver.stats.neworder_commits)
+        return self.summarise()
+
+    def summarise(self) -> RunResult:
+        """Snapshot the current measured region into a :class:`RunResult`."""
+        dbms = self.dbms
+        wall = dbms.wall_clock()
+        resources = dbms.resource_times()
+        utilization = {
+            name: (busy / wall if wall > 0 else 0.0)
+            for name, busy in resources.items()
+        }
+        flash_pages = (
+            dbms.flash.device.stats.total_pages if dbms.flash is not None else 0
+        )
+        disk_pages = dbms.disk.device.stats.total_pages
+        stats = dbms.cache.stats
+        return RunResult(
+            name=self.config.display_name,
+            transactions=self.driver.stats.executed,
+            wall_seconds=wall,
+            tpmc=self.driver.tpmc(wall),
+            dram_hit_rate=dbms.buffer.stats.hit_rate,
+            flash_hit_rate=stats.flash_hit_rate,
+            write_reduction=stats.write_reduction,
+            utilization=utilization,
+            flash_page_iops=flash_pages / wall if wall > 0 else 0.0,
+            disk_page_iops=disk_pages / wall if wall > 0 else 0.0,
+            duplicate_fraction=getattr(dbms.cache, "duplicate_fraction", 0.0),
+            resource_times=resources,
+            cache_stats={
+                "lookups": stats.lookups,
+                "hits": stats.hits,
+                "flash_writes": stats.flash_writes,
+                "disk_writes": stats.disk_writes,
+                "dirty_evictions": stats.dirty_evictions,
+                "skipped_enqueues": stats.skipped_enqueues,
+                "invalidated_dirty": stats.invalidated_dirty,
+            },
+        )
+
+
+def run_steady_state(
+    config: SystemConfig,
+    scale: ScaleProfile,
+    measure_transactions: int,
+    warmup_min: int = 500,
+    warmup_max: int = 50_000,
+    checkpoint_interval: float | None = None,
+    seed: int = 42,
+) -> RunResult:
+    """One-call convenience: build → warm up → measure → summarise."""
+    runner = ExperimentRunner(config, scale, seed=seed)
+    runner.warm_up(warmup_min, warmup_max)
+    return runner.measure(measure_transactions, checkpoint_interval)

@@ -1,0 +1,118 @@
+"""Parameter-sweep utility.
+
+Most of the paper's evaluation is a grid: {policy} x {cache size} (Tables
+3-4, Figure 4), {policy} x {disk count} (Figure 5), {policy} x {checkpoint
+interval} (Table 6).  :class:`Sweep` runs such grids with one steady-state
+measurement per cell and collects :class:`~repro.sim.runner.RunResult`
+objects keyed by cell, so harnesses, notebooks and the CLI share the same
+loop instead of each hand-rolling it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigError
+from repro.sim.runner import ExperimentRunner, RunResult
+from repro.tpcc.scale import ScaleProfile
+
+#: Builds the config for one sweep cell from its parameter values.
+ConfigFactory = Callable[..., SystemConfig]
+
+
+@dataclass
+class SweepResults:
+    """Results of a grid run, keyed by the cell's parameter tuple."""
+
+    dimensions: tuple[str, ...]
+    cells: dict[tuple, RunResult] = field(default_factory=dict)
+
+    def get(self, *key) -> RunResult:
+        return self.cells[tuple(key)]
+
+    def series(self, fixed: dict[str, object], over: str) -> list[tuple[object, RunResult]]:
+        """Extract one axis as a series, holding the other dims fixed.
+
+        Returns ``(value-of-`over`, result)`` pairs in insertion order.
+        """
+        if over not in self.dimensions:
+            raise ConfigError(f"unknown sweep dimension {over!r}")
+        for name in fixed:
+            if name not in self.dimensions:
+                raise ConfigError(f"unknown sweep dimension {name!r}")
+        out = []
+        for key, result in self.cells.items():
+            bound = dict(zip(self.dimensions, key))
+            if all(bound[name] == value for name, value in fixed.items()):
+                out.append((bound[over], result))
+        return out
+
+    def column(self, metric: str, *key) -> float:
+        """Convenience: one metric of one cell (attribute of RunResult)."""
+        return getattr(self.get(*key), metric)
+
+
+class Sweep:
+    """Runs a full factorial grid of steady-state measurements.
+
+    Parameters
+    ----------
+    dimensions:
+        Ordered mapping of dimension name -> iterable of values.
+    config_factory:
+        Called with one keyword argument per dimension; returns the
+        :class:`SystemConfig` for that cell.
+    scale:
+        TPC-C scale profile every cell runs.
+    """
+
+    def __init__(
+        self,
+        dimensions: dict[str, Sequence],
+        config_factory: ConfigFactory,
+        scale: ScaleProfile,
+        measure_transactions: int = 2000,
+        warmup_min: int = 500,
+        warmup_max: int = 15_000,
+        seed: int = 42,
+    ) -> None:
+        if not dimensions:
+            raise ConfigError("a sweep needs at least one dimension")
+        if any(len(values) == 0 for values in dimensions.values()):
+            raise ConfigError("every sweep dimension needs at least one value")
+        self.dimensions = dict(dimensions)
+        self.config_factory = config_factory
+        self.scale = scale
+        self.measure_transactions = measure_transactions
+        self.warmup_min = warmup_min
+        self.warmup_max = warmup_max
+        self.seed = seed
+
+    def _grid(self) -> Iterable[tuple]:
+        keys = list(self.dimensions)
+
+        def recurse(prefix: tuple, remaining: list[str]):
+            if not remaining:
+                yield prefix
+                return
+            head, *tail = remaining
+            for value in self.dimensions[head]:
+                yield from recurse(prefix + (value,), tail)
+
+        yield from recurse((), keys)
+
+    def run(self, on_cell: Callable[[tuple, RunResult], None] | None = None) -> SweepResults:
+        """Execute every cell; optionally observe each as it completes."""
+        results = SweepResults(dimensions=tuple(self.dimensions))
+        for key in self._grid():
+            bound = dict(zip(self.dimensions, key))
+            config = self.config_factory(**bound)
+            runner = ExperimentRunner(config, self.scale, seed=self.seed)
+            runner.warm_up(self.warmup_min, self.warmup_max)
+            result = runner.measure(self.measure_transactions)
+            results.cells[key] = result
+            if on_cell is not None:
+                on_cell(key, result)
+        return results

@@ -1,0 +1,74 @@
+"""Non-volatile page-image store.
+
+Separates *what a device holds* from *how long it takes* (the
+:class:`~repro.storage.device.Device` timing model).  A :class:`PageStore`
+maps logical block addresses to opaque, immutable page images.  Everything
+placed in a ``PageStore`` survives a simulated crash — this is precisely the
+non-volatility property of flash and disk that FaCE's recovery design
+(Section 4) builds on; DRAM-side state is simply never put in one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import OutOfRangeError, PageNotFoundError
+
+
+class PageStore:
+    """A bounded array of page-image slots addressed by LBA.
+
+    Images are treated as immutable snapshots: callers must store frozen
+    objects (see :meth:`repro.db.page.Page.to_image`), never live mutable
+    pages, so that later in-DRAM updates cannot retroactively change what
+    was "written" to the medium.
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise OutOfRangeError(f"capacity must be positive, got {capacity_pages}")
+        self.capacity_pages = int(capacity_pages)
+        self._slots: dict[int, Any] = {}
+
+    def _check(self, lba: int) -> None:
+        if not 0 <= lba < self.capacity_pages:
+            raise OutOfRangeError(
+                f"lba {lba} outside store of {self.capacity_pages} pages"
+            )
+
+    def put(self, lba: int, image: Any) -> None:
+        """Store ``image`` at ``lba``, replacing any previous image."""
+        self._check(lba)
+        self._slots[lba] = image
+
+    def get(self, lba: int) -> Any:
+        """Return the image at ``lba``; raise if the slot was never written."""
+        self._check(lba)
+        try:
+            return self._slots[lba]
+        except KeyError:
+            raise PageNotFoundError(f"no page image at lba {lba}") from None
+
+    def peek(self, lba: int) -> Any | None:
+        """Return the image at ``lba`` or ``None`` — never raises on empty."""
+        self._check(lba)
+        return self._slots.get(lba)
+
+    def delete(self, lba: int) -> None:
+        """Drop the image at ``lba`` (idempotent)."""
+        self._check(lba)
+        self._slots.pop(lba, None)
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def occupied(self) -> Iterator[int]:
+        """Iterate the LBAs that currently hold an image."""
+        return iter(self._slots)
+
+    def clear(self) -> None:
+        """Erase the medium (used only when building fresh experiments)."""
+        self._slots.clear()

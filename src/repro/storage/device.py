@@ -1,0 +1,178 @@
+"""Base storage-device timing model.
+
+A :class:`Device` does not hold data — it only models *time*.  Every read or
+write charges a service time to the device's cumulative busy-time counter and
+updates its operation statistics.  Page *contents* live in a
+:class:`repro.storage.backing.PageStore`; a :class:`repro.storage.volume.Volume`
+pairs the two.
+
+Sequentiality is detected the way a drive's firmware sees it: an access is
+sequential when it starts at the block immediately following the previous
+access's last block.  Multi-page transfers are charged at bandwidth cost,
+which is how the paper's batched (GR/GSC) flash I/O earns its advantage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import OutOfRangeError
+from repro.storage.profiles import DeviceProfile
+
+
+class IOKind(enum.Enum):
+    """Classification of a completed I/O, used for statistics."""
+
+    RANDOM_READ = "random_read"
+    RANDOM_WRITE = "random_write"
+    SEQ_READ = "seq_read"
+    SEQ_WRITE = "seq_write"
+
+
+@dataclass
+class IOStats:
+    """Operation and page counters for one device.
+
+    ``ops`` counts device commands (a 64-page batch write is one op);
+    ``pages`` counts 4 KB pages moved, which is what the paper's Table 4(b)
+    "4KB-page I/O operations per second" reports.
+    """
+
+    ops: dict[IOKind, int] = field(default_factory=lambda: {k: 0 for k in IOKind})
+    pages: dict[IOKind, int] = field(default_factory=lambda: {k: 0 for k in IOKind})
+    busy_time: float = 0.0
+
+    def record(self, kind: IOKind, npages: int, service_time: float) -> None:
+        self.ops[kind] += 1
+        self.pages[kind] += npages
+        self.busy_time += service_time
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.pages.values())
+
+    @property
+    def read_pages(self) -> int:
+        return self.pages[IOKind.RANDOM_READ] + self.pages[IOKind.SEQ_READ]
+
+    @property
+    def write_pages(self) -> int:
+        return self.pages[IOKind.RANDOM_WRITE] + self.pages[IOKind.SEQ_WRITE]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict snapshot, convenient for reports and assertions."""
+        out: dict[str, float] = {"busy_time": self.busy_time}
+        for kind in IOKind:
+            out[f"ops_{kind.value}"] = self.ops[kind]
+            out[f"pages_{kind.value}"] = self.pages[kind]
+        return out
+
+    def reset(self) -> None:
+        for kind in IOKind:
+            self.ops[kind] = 0
+            self.pages[kind] = 0
+        self.busy_time = 0.0
+
+
+class Device:
+    """A storage device that charges calibrated service times for I/O.
+
+    Parameters
+    ----------
+    profile:
+        Calibrated timing characteristics (see :mod:`repro.storage.profiles`).
+    capacity_pages:
+        Addressable size in pages.  Defaults to the profile's full capacity;
+        experiments typically pass the (much smaller) simulated size.
+    """
+
+    def __init__(self, profile: DeviceProfile, capacity_pages: int | None = None) -> None:
+        self.profile = profile
+        self.capacity_pages = (
+            profile.capacity_pages if capacity_pages is None else int(capacity_pages)
+        )
+        if self.capacity_pages <= 0:
+            raise OutOfRangeError(f"capacity must be positive, got {self.capacity_pages}")
+        self.stats = IOStats()
+        # Read and write streams are tracked separately: an append-only
+        # write stream (mvFIFO's enqueues) stays sequential even when
+        # interleaved with random reads, which is how SSDs (and the paper)
+        # classify the pattern.
+        self._next_read_lba: int | None = None
+        self._next_write_lba: int | None = None
+        #: Queue-depth-1 mode.  Crash recovery is a single serial thread
+        #: (PostgreSQL redo), so during restart random operations cost one
+        #: request's *latency* instead of the saturated-throughput figure
+        #: that Table 1's Orion measurements (and normal 50-client
+        #: operation) reflect.  Subclasses with internal parallelism
+        #: (RAID, SSD) override the timing hooks accordingly.
+        self.serial_mode = False
+
+    # -- timing hooks subclasses override ---------------------------------
+
+    def _read_time(self, npages: int, sequential: bool) -> float:
+        if sequential or npages > 1:
+            return npages * self.profile.seq_read_time
+        return self.profile.random_read_time
+
+    def _write_time(self, npages: int, sequential: bool) -> float:
+        if sequential or npages > 1:
+            return npages * self.profile.seq_write_time
+        return self.profile.random_write_time
+
+    # -- public I/O API -----------------------------------------------------
+
+    def read(self, lba: int, npages: int = 1) -> float:
+        """Charge a read of ``npages`` pages starting at ``lba``.
+
+        Returns the service time charged (seconds).
+        """
+        self._check_range(lba, npages)
+        sequential = self._next_read_lba == lba
+        self._next_read_lba = lba + npages
+        service = self._read_time(npages, sequential)
+        kind = IOKind.SEQ_READ if (sequential or npages > 1) else IOKind.RANDOM_READ
+        self.stats.record(kind, npages, service)
+        return service
+
+    def write(self, lba: int, npages: int = 1) -> float:
+        """Charge a write of ``npages`` pages starting at ``lba``.
+
+        Returns the service time charged (seconds).
+        """
+        self._check_range(lba, npages)
+        sequential = self._next_write_lba == lba
+        self._next_write_lba = lba + npages
+        service = self._write_time(npages, sequential)
+        kind = IOKind.SEQ_WRITE if (sequential or npages > 1) else IOKind.RANDOM_WRITE
+        self.stats.record(kind, npages, service)
+        return service
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_range(self, lba: int, npages: int) -> None:
+        if lba < 0 or lba + npages > self.capacity_pages:
+            raise OutOfRangeError(
+                f"access [{lba}, {lba + npages}) outside device of "
+                f"{self.capacity_pages} pages ({self.profile.name})"
+            )
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds this device has spent servicing I/O."""
+        return self.stats.busy_time
+
+    def reset_stats(self) -> None:
+        """Zero the counters (used after warm-up phases)."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} {self.profile.name!r} "
+            f"{self.capacity_pages}p busy={self.busy_time:.3f}s>"
+        )

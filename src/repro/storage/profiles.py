@@ -1,0 +1,169 @@
+"""Calibrated device profiles.
+
+The timing model of every simulated device is derived from the measured
+numbers the paper reports in Table 1 (Orion calibration tool, steady state):
+
+=============  ============  ============  ==========  ==========
+Device         4K rand read  4K rand write seq read    seq write
+               (IOPS)        (IOPS)        (MB/s)      (MB/s)
+=============  ============  ============  ==========  ==========
+MLC SSD (Samsung 470)  28,495   6,314        251.33      242.80
+MLC SSD (Intel X25-M)  35,601   2,547        258.70       80.81
+SLC SSD (Intel X25-E)  38,427   5,057        259.2       195.25
+Single disk (Cheetah)     409     343        156         154
+8-disk RAID-0           2,598   2,502        848         843
+=============  ============  ============  ==========  ==========
+
+A :class:`DeviceProfile` converts these to per-operation service times:
+
+* random 4 KB op  ->  ``1 / IOPS`` seconds,
+* sequential transfer of *n* pages  ->  ``n * page_size / bandwidth``.
+
+The IOPS figures already include the device's internal parallelism at the
+queue depths the paper used, so charging ``1/IOPS`` per op to a single
+busy-time accumulator reproduces the device's saturated throughput, which is
+what the paper's bottleneck analysis (Section 5.3) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Page size used throughout the reproduction (PostgreSQL used 4 KB pages).
+PAGE_SIZE = 4096
+
+_MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Timing characteristics of one storage device.
+
+    Attributes mirror Table 1 of the paper.  All service-time math lives in
+    the properties so that profiles stay declarative and hand-checkable
+    against the published table.
+    """
+
+    name: str
+    random_read_iops: float
+    random_write_iops: float
+    seq_read_mbps: float
+    seq_write_mbps: float
+    capacity_gb: float
+    price_usd: float
+    page_size: int = PAGE_SIZE
+
+    @property
+    def random_read_time(self) -> float:
+        """Service time (s) for one random page read."""
+        return 1.0 / self.random_read_iops
+
+    @property
+    def random_write_time(self) -> float:
+        """Service time (s) for one random page write."""
+        return 1.0 / self.random_write_iops
+
+    @property
+    def seq_read_time(self) -> float:
+        """Service time (s) to stream one page at sequential-read bandwidth."""
+        return self.page_size / (self.seq_read_mbps * _MB)
+
+    @property
+    def seq_write_time(self) -> float:
+        """Service time (s) to stream one page at sequential-write bandwidth."""
+        return self.page_size / (self.seq_write_mbps * _MB)
+
+    @property
+    def price_per_gb(self) -> float:
+        """$/GB, the figure the paper's cost-effectiveness argument uses."""
+        return self.price_usd / self.capacity_gb
+
+    @property
+    def capacity_pages(self) -> int:
+        """Device capacity expressed in pages."""
+        return int(self.capacity_gb * 1024**3 // self.page_size)
+
+    @property
+    def random_write_penalty(self) -> float:
+        """Ratio of random-write to sequential-write cost (≈10x for flash)."""
+        return self.random_write_time / self.seq_write_time
+
+    def scaled(self, name: str, capacity_gb: float) -> "DeviceProfile":
+        """Return a same-speed profile with a different capacity.
+
+        Used to carve a small flash *cache* out of a full-size SSD profile
+        and for scaled-down simulation databases; price scales linearly
+        with capacity so $/GB is preserved.
+        """
+        factor = capacity_gb / self.capacity_gb
+        return replace(
+            self, name=name, capacity_gb=capacity_gb, price_usd=self.price_usd * factor
+        )
+
+
+#: Samsung 470 Series 256 GB — the paper's primary (MLC) caching device.
+MLC_SAMSUNG_470 = DeviceProfile(
+    name="MLC SSD (Samsung 470 256GB)",
+    random_read_iops=28_495,
+    random_write_iops=6_314,
+    seq_read_mbps=251.33,
+    seq_write_mbps=242.80,
+    capacity_gb=256,
+    price_usd=450,
+)
+
+#: Intel X25-M G2 80 GB — the second MLC device in Table 1.
+MLC_INTEL_X25M = DeviceProfile(
+    name="MLC SSD (Intel X25-M G2 80GB)",
+    random_read_iops=35_601,
+    random_write_iops=2_547,
+    seq_read_mbps=258.70,
+    seq_write_mbps=80.81,
+    capacity_gb=80,
+    price_usd=180,
+)
+
+#: Intel X25-E 32 GB — the paper's SLC caching device.
+SLC_INTEL_X25E = DeviceProfile(
+    name="SLC SSD (Intel X25-E 32GB)",
+    random_read_iops=38_427,
+    random_write_iops=5_057,
+    seq_read_mbps=259.2,
+    seq_write_mbps=195.25,
+    capacity_gb=32,
+    price_usd=440,
+)
+
+#: Seagate Cheetah 15K.6 — one enterprise 15k-RPM SAS drive.
+HDD_CHEETAH_15K = DeviceProfile(
+    name="HDD (Seagate Cheetah 15K.6 146.8GB)",
+    random_read_iops=409,
+    random_write_iops=343,
+    seq_read_mbps=156,
+    seq_write_mbps=154,
+    capacity_gb=146.8,
+    price_usd=240,
+)
+
+#: The paper's 8-disk RAID-0 array measured as one unit (Table 1, row 5).
+RAID0_8_DISKS = DeviceProfile(
+    name="8-disk RAID-0 (Cheetah 15K.6)",
+    random_read_iops=2_598,
+    random_write_iops=2_502,
+    seq_read_mbps=848,
+    seq_write_mbps=843,
+    capacity_gb=1_170,
+    price_usd=1_920,
+)
+
+#: All Table 1 rows keyed by a short name, used by the Table 1 benchmark.
+TABLE1_PROFILES: dict[str, DeviceProfile] = {
+    "mlc_samsung_470": MLC_SAMSUNG_470,
+    "mlc_intel_x25m": MLC_INTEL_X25M,
+    "slc_intel_x25e": SLC_INTEL_X25E,
+    "hdd_cheetah_15k": HDD_CHEETAH_15K,
+    "raid0_8_disks": RAID0_8_DISKS,
+}
+
+#: DRAM-to-MLC-flash price ratio assumed by the paper's Table 5 experiment.
+DRAM_TO_FLASH_PRICE_RATIO = 10.0

@@ -1,0 +1,69 @@
+"""Volume: a device's timing model paired with its persistent contents.
+
+All data-path code in the reproduction talks to volumes, so every logical
+page access is charged to exactly one device *and* lands in exactly one
+non-volatile store — keeping the timing ledger and the durability semantics
+impossible to desynchronise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import OutOfRangeError
+from repro.storage.backing import PageStore
+from repro.storage.device import Device
+
+
+class Volume:
+    """Pairs a :class:`Device` (time) with a :class:`PageStore` (contents)."""
+
+    def __init__(self, device: Device, store: PageStore | None = None) -> None:
+        self.device = device
+        self.store = store if store is not None else PageStore(device.capacity_pages)
+        if self.store.capacity_pages > device.capacity_pages:
+            raise OutOfRangeError(
+                f"store ({self.store.capacity_pages}p) larger than device "
+                f"({device.capacity_pages}p)"
+            )
+
+    # -- timed access ---------------------------------------------------------
+
+    def read_page(self, lba: int) -> Any:
+        """Read one page image, charging the device."""
+        self.device.read(lba, 1)
+        return self.store.get(lba)
+
+    def write_page(self, lba: int, image: Any) -> None:
+        """Write one page image, charging the device."""
+        self.device.write(lba, 1)
+        self.store.put(lba, image)
+
+    def read_batch(self, lba: int, npages: int) -> list[Any]:
+        """Read ``npages`` contiguous images as one bandwidth-cost transfer.
+
+        Slots never written return ``None`` (reading an erased region of a
+        cache device is well defined and occurs during metadata recovery).
+        """
+        self.device.read(lba, npages)
+        return [self.store.peek(lba + i) for i in range(npages)]
+
+    def write_batch(self, lba: int, images: Sequence[Any]) -> None:
+        """Write contiguous images as one bandwidth-cost transfer."""
+        self.device.write(lba, len(images))
+        for i, image in enumerate(images):
+            self.store.put(lba + i, image)
+
+    # -- untimed helpers --------------------------------------------------------
+
+    def peek(self, lba: int) -> Any | None:
+        """Inspect contents without charging I/O (tests / invariant checks)."""
+        return self.store.peek(lba)
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.store.capacity_pages
+
+    @property
+    def busy_time(self) -> float:
+        return self.device.busy_time

@@ -1,0 +1,25 @@
+"""TPC-C workload: schema, scaled population, NURand inputs, 5 transactions."""
+
+from repro.tpcc.consistency import ConsistencyReport, check_all
+from repro.tpcc.driver import TpccDriver, WorkloadStats
+from repro.tpcc.loader import TpccDatabase, estimate_db_pages, load_tpcc
+from repro.tpcc.random_gen import TpccRandom, lastname_for_index
+from repro.tpcc.scale import BENCH, TINY, ScaleProfile
+from repro.tpcc.transactions import TpccTransactions, TxResult
+
+__all__ = [
+    "BENCH",
+    "ConsistencyReport",
+    "ScaleProfile",
+    "TINY",
+    "TpccDatabase",
+    "TpccDriver",
+    "TpccRandom",
+    "TpccTransactions",
+    "TxResult",
+    "WorkloadStats",
+    "check_all",
+    "estimate_db_pages",
+    "lastname_for_index",
+    "load_tpcc",
+]

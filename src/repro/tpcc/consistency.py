@@ -1,0 +1,138 @@
+"""TPC-C consistency conditions (specification clause 3.3), as library code.
+
+The TPC-C specification defines auditable consistency conditions that must
+hold in any compliant implementation.  The reproduction checks the four
+that its transaction set maintains; crash-recovery tests run them after
+every restart, and downstream users can audit their own runs.
+
+All reads go through the normal engine path (they are cheap DRAM hits in
+practice, and auditing through the same code path the workload uses is the
+point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tpcc.loader import TpccDatabase
+
+_D_YTD = 9
+_D_NEXT_O_ID = 10
+_W_YTD = 8
+_O_OL_CNT = 6
+_O_OL_FIRST = 8
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a TPC-C audit."""
+
+    checks_run: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+
+
+def check_warehouse_ytd(database: TpccDatabase, report: ConsistencyReport) -> None:
+    """Condition 1: W_YTD = sum(D_YTD) for every warehouse.
+
+    The initial load seeds W_YTD = 300,000 and D_YTD = 30,000 x 10, so the
+    *deltas* must match exactly.
+    """
+    dbms, scale = database.dbms, database.scale
+    initial_w = 300_000.0
+    initial_d = 30_000.0 * scale.districts_per_warehouse
+    for w in range(1, scale.warehouses + 1):
+        report.checks_run += 1
+        w_ytd = dbms.fetch_row("warehouse", database.warehouse_rid(w))[_W_YTD]
+        d_sum = sum(
+            dbms.fetch_row("district", database.district_rid(w, d))[_D_YTD]
+            for d in range(1, scale.districts_per_warehouse + 1)
+        )
+        if abs((w_ytd - initial_w) - (d_sum - initial_d)) > 1e-6:
+            report._fail(
+                f"warehouse {w}: W_YTD delta {w_ytd - initial_w:.2f} != "
+                f"district sum delta {d_sum - initial_d:.2f}"
+            )
+
+
+def check_order_id_chain(database: TpccDatabase, report: ConsistencyReport) -> None:
+    """Condition 2: for every district, D_NEXT_O_ID - 1 is the newest order
+    in both ORDER and (when undelivered) NEW-ORDER."""
+    dbms, scale = database.dbms, database.scale
+    for w in range(1, scale.warehouses + 1):
+        for d in range(1, scale.districts_per_warehouse + 1):
+            report.checks_run += 1
+            next_o_id = dbms.fetch_row(
+                "district", database.district_rid(w, d)
+            )[_D_NEXT_O_ID]
+            if dbms.index_lookup("order_pk", (w, d, next_o_id - 1)) is None:
+                report._fail(f"district ({w},{d}): order {next_o_id - 1} missing")
+            if dbms.index_lookup("order_pk", (w, d, next_o_id)) is not None:
+                report._fail(
+                    f"district ({w},{d}): order {next_o_id} exists beyond "
+                    f"D_NEXT_O_ID"
+                )
+
+
+def check_new_order_queue(database: TpccDatabase, report: ConsistencyReport) -> None:
+    """Condition 3-ish: the driver's undelivered queues agree with the
+    NEW-ORDER index (every queued order id has its row, oldest first)."""
+    dbms = database.dbms
+    for (w, d), queue in database.undelivered.items():
+        report.checks_run += 1
+        if list(queue) != sorted(queue):
+            report._fail(f"district ({w},{d}): undelivered queue out of order")
+        for o_id in queue:
+            if dbms.index_lookup("new_order_pk", (w, d, o_id)) is None:
+                report._fail(
+                    f"district ({w},{d}): queued order {o_id} has no "
+                    f"NEW-ORDER row"
+                )
+
+
+def check_order_lines(database: TpccDatabase, report: ConsistencyReport) -> None:
+    """Condition 4: every order's O_OL_CNT lines exist with matching keys.
+
+    Audits a deterministic sample (newest order per district) to stay
+    affordable after long runs.
+    """
+    dbms, scale = database.dbms, database.scale
+    heap = dbms.tables["order_line"]
+    for w in range(1, scale.warehouses + 1):
+        for d in range(1, scale.districts_per_warehouse + 1):
+            report.checks_run += 1
+            next_o_id = dbms.fetch_row(
+                "district", database.district_rid(w, d)
+            )[_D_NEXT_O_ID]
+            rid = dbms.index_lookup("order_pk", (w, d, next_o_id - 1))
+            if rid is None:
+                continue  # already reported by the chain check
+            order = dbms.fetch_row("orders", rid)
+            for offset in range(order[_O_OL_CNT]):
+                line = dbms.fetch_row(
+                    "order_line", heap.rid_for_rownum(order[_O_OL_FIRST] + offset)
+                )
+                if line is None or line[0] != next_o_id - 1 or line[3] != offset + 1:
+                    report._fail(
+                        f"district ({w},{d}): order {next_o_id - 1} line "
+                        f"{offset + 1} missing or mismatched"
+                    )
+
+
+def check_all(database: TpccDatabase) -> ConsistencyReport:
+    """Run every audit; aggregate the findings."""
+    report = ConsistencyReport()
+    for check in (
+        check_warehouse_ytd,
+        check_order_id_chain,
+        check_new_order_queue,
+        check_order_lines,
+    ):
+        check(database, report)
+    return report

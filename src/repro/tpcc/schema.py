@@ -1,0 +1,182 @@
+"""The nine TPC-C table schemas (clause 1.3 of the specification).
+
+Column sets follow the specification; string widths are the estimated stored
+widths that size rows-per-page, keeping each table's page footprint in the
+same proportion to the whole database as in the paper's 50 GB build.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import TableSchema, float_col, int_col, str_col
+
+WAREHOUSE = TableSchema(
+    name="warehouse",
+    columns=(
+        int_col("w_id"),
+        str_col("w_name", 10),
+        str_col("w_street_1", 20),
+        str_col("w_street_2", 20),
+        str_col("w_city", 20),
+        str_col("w_state", 2),
+        str_col("w_zip", 9),
+        float_col("w_tax"),
+        float_col("w_ytd"),
+    ),
+    primary_key=("w_id",),
+)
+
+DISTRICT = TableSchema(
+    name="district",
+    columns=(
+        int_col("d_id"),
+        int_col("d_w_id"),
+        str_col("d_name", 10),
+        str_col("d_street_1", 20),
+        str_col("d_street_2", 20),
+        str_col("d_city", 20),
+        str_col("d_state", 2),
+        str_col("d_zip", 9),
+        float_col("d_tax"),
+        float_col("d_ytd"),
+        int_col("d_next_o_id"),
+    ),
+    primary_key=("d_w_id", "d_id"),
+)
+
+CUSTOMER = TableSchema(
+    name="customer",
+    columns=(
+        int_col("c_id"),
+        int_col("c_d_id"),
+        int_col("c_w_id"),
+        str_col("c_first", 16),
+        str_col("c_middle", 2),
+        str_col("c_last", 16),
+        str_col("c_street_1", 20),
+        str_col("c_street_2", 20),
+        str_col("c_city", 20),
+        str_col("c_state", 2),
+        str_col("c_zip", 9),
+        str_col("c_phone", 16),
+        int_col("c_since"),
+        str_col("c_credit", 2),
+        float_col("c_credit_lim"),
+        float_col("c_discount"),
+        float_col("c_balance"),
+        float_col("c_ytd_payment"),
+        int_col("c_payment_cnt"),
+        int_col("c_delivery_cnt"),
+        str_col("c_data", 300),
+    ),
+    primary_key=("c_w_id", "c_d_id", "c_id"),
+)
+
+HISTORY = TableSchema(
+    name="history",
+    columns=(
+        int_col("h_c_id"),
+        int_col("h_c_d_id"),
+        int_col("h_c_w_id"),
+        int_col("h_d_id"),
+        int_col("h_w_id"),
+        int_col("h_date"),
+        float_col("h_amount"),
+        str_col("h_data", 24),
+    ),
+    primary_key=(),  # HISTORY has no primary key in TPC-C
+)
+
+NEW_ORDER = TableSchema(
+    name="new_order",
+    columns=(
+        int_col("no_o_id"),
+        int_col("no_d_id"),
+        int_col("no_w_id"),
+    ),
+    primary_key=("no_w_id", "no_d_id", "no_o_id"),
+)
+
+ORDER = TableSchema(
+    name="orders",
+    columns=(
+        int_col("o_id"),
+        int_col("o_d_id"),
+        int_col("o_w_id"),
+        int_col("o_c_id"),
+        int_col("o_entry_d"),
+        int_col("o_carrier_id"),
+        int_col("o_ol_cnt"),
+        int_col("o_all_local"),
+        # Implementation columns: dense row number of the first order line
+        # and their count, so ORDER-STATUS/DELIVERY can reach the lines
+        # without a range index.
+        int_col("o_ol_first_rownum"),
+    ),
+    primary_key=("o_w_id", "o_d_id", "o_id"),
+)
+
+ORDER_LINE = TableSchema(
+    name="order_line",
+    columns=(
+        int_col("ol_o_id"),
+        int_col("ol_d_id"),
+        int_col("ol_w_id"),
+        int_col("ol_number"),
+        int_col("ol_i_id"),
+        int_col("ol_supply_w_id"),
+        int_col("ol_delivery_d"),
+        int_col("ol_quantity"),
+        float_col("ol_amount"),
+        str_col("ol_dist_info", 24),
+    ),
+    primary_key=("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+)
+
+ITEM = TableSchema(
+    name="item",
+    columns=(
+        int_col("i_id"),
+        int_col("i_im_id"),
+        str_col("i_name", 24),
+        float_col("i_price"),
+        str_col("i_data", 50),
+    ),
+    primary_key=("i_id",),
+)
+
+STOCK = TableSchema(
+    name="stock",
+    columns=(
+        int_col("s_i_id"),
+        int_col("s_w_id"),
+        int_col("s_quantity"),
+        str_col("s_dist_01", 24),
+        str_col("s_dist_02", 24),
+        str_col("s_dist_03", 24),
+        str_col("s_dist_04", 24),
+        str_col("s_dist_05", 24),
+        str_col("s_dist_06", 24),
+        str_col("s_dist_07", 24),
+        str_col("s_dist_08", 24),
+        str_col("s_dist_09", 24),
+        str_col("s_dist_10", 24),
+        float_col("s_ytd"),
+        int_col("s_order_cnt"),
+        int_col("s_remote_cnt"),
+        str_col("s_data", 50),
+    ),
+    primary_key=("s_w_id", "s_i_id"),
+)
+
+#: All nine tables in load order.
+ALL_TABLES = (
+    WAREHOUSE,
+    DISTRICT,
+    CUSTOMER,
+    HISTORY,
+    NEW_ORDER,
+    ORDER,
+    ORDER_LINE,
+    ITEM,
+    STOCK,
+)

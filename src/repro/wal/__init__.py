@@ -1,0 +1,21 @@
+"""Write-ahead logging: records, LSNs, commit-time force, crash semantics."""
+
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+__all__ = [
+    "AbortRecord",
+    "BeginRecord",
+    "CheckpointRecord",
+    "CommitRecord",
+    "LogManager",
+    "LogRecord",
+    "UpdateRecord",
+]

@@ -1,0 +1,111 @@
+"""Write-ahead-log record types.
+
+Physiological logging in the style of ARIES / PostgreSQL, at the granularity
+the reproduction needs: one :class:`UpdateRecord` per slot change carrying
+both before- and after-images, so redo *and* undo are possible, plus
+transaction lifecycle and checkpoint records.
+
+Each record reports an estimated on-media size, which is what the log
+device's sequential-write timing is charged with at force time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+_BASE_RECORD_BYTES = 40  # LSN, prev-LSN, txid, type, CRC, length
+
+
+def _value_bytes(value: Any) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        return 5 + len(value)
+    if isinstance(value, tuple):
+        return 3 + sum(_value_bytes(v) for v in value)
+    return 9  # int / float
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class: every record has an LSN (assigned by the log manager)."""
+
+    lsn: int
+
+    def size_bytes(self) -> int:
+        return _BASE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class BeginRecord(LogRecord):
+    """A transaction started."""
+
+    txid: int
+
+
+@dataclass(frozen=True)
+class UpdateRecord(LogRecord):
+    """One slot on one page changed.
+
+    ``before is None`` encodes an insert; ``after is None`` a delete.
+
+    ``page_image`` implements full-page writes (PostgreSQL
+    ``full_page_writes=on``, which the paper's prototype inherits): the
+    first update to a page after a checkpoint carries the complete
+    post-update page, so crash recovery can install the page straight from
+    the log instead of reading a possibly-torn base copy.  The image costs
+    a full page of log volume, charged by :meth:`size_bytes`.
+    """
+
+    txid: int
+    page_id: int
+    slot: Any
+    before: tuple | None
+    after: tuple | None
+    page_image: Any = None
+
+    def size_bytes(self) -> int:
+        size = (
+            _BASE_RECORD_BYTES
+            + 12
+            + _value_bytes(self.slot)
+            + _value_bytes(self.before)
+            + _value_bytes(self.after)
+        )
+        if self.page_image is not None:
+            size += 4096
+        return size
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    """A transaction committed; forces the log tail (durability point)."""
+
+    txid: int
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    """A transaction rolled back (its updates were undone before this)."""
+
+    txid: int
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(LogRecord):
+    """A completed database checkpoint.
+
+    The reproduction takes flush checkpoints — every dirty DRAM page is
+    written to the persistent database (disk, or the flash cache under FaCE,
+    Section 4.1) before this record is emitted — so crash recovery starts
+    its redo scan at the most recent checkpoint record.
+
+    ``active_txids`` lists transactions in flight at checkpoint time; they
+    are undo candidates if no later commit/abort is found.
+    """
+
+    active_txids: frozenset[int] = field(default_factory=frozenset)
+
+    def size_bytes(self) -> int:
+        return _BASE_RECORD_BYTES + 8 * len(self.active_txids)

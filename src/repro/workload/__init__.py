@@ -1,0 +1,5 @@
+"""Synthetic workloads beyond TPC-C (skew / read-write-mix studies)."""
+
+from repro.workload.synthetic import KV_SCHEMA, SyntheticKVWorkload, ZipfGenerator
+
+__all__ = ["KV_SCHEMA", "SyntheticKVWorkload", "ZipfGenerator"]

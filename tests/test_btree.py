@@ -1,0 +1,205 @@
+"""B+-tree index: structure, ordering, durability through the engine."""
+
+import random
+
+import pytest
+
+from repro.core.config import CachePolicy
+from repro.db.btree import BTreeIndex
+from repro.db.catalog import Catalog
+from repro.db.schema import TableSchema, int_col
+from repro.errors import CatalogError
+from tests.conftest import kv_dbms_with
+from tests.test_index import DictAccessor
+
+
+def make_tree(n_pages=64, fanout=8) -> tuple[BTreeIndex, DictAccessor]:
+    cat = Catalog()
+    cat.create_table(
+        TableSchema("t", (int_col("x"),), ("x",), slots_per_page=4),
+        expected_rows=100,
+    )
+    info = cat.create_index("t_bt", "t", n_pages=n_pages)
+    tree = BTreeIndex(info, fanout=fanout)
+    accessor = DictAccessor()
+    tree.create(accessor)
+    return tree, accessor
+
+
+class TestBasics:
+    def test_insert_search_roundtrip(self):
+        tree, acc = make_tree()
+        tree.insert((5,), (100, 2), acc)
+        assert tree.search((5,), acc) == (100, 2)
+        assert tree.search((6,), acc) is None
+
+    def test_overwrite(self):
+        tree, acc = make_tree()
+        tree.insert((5,), (100, 2), acc)
+        tree.insert((5,), (200, 0), acc)
+        assert tree.search((5,), acc) == (200, 0)
+
+    def test_delete(self):
+        tree, acc = make_tree()
+        tree.insert((5,), (100, 2), acc)
+        assert tree.delete((5,), acc)
+        assert tree.search((5,), acc) is None
+        assert not tree.delete((5,), acc)
+
+    def test_uninitialised_tree_raises(self):
+        cat = Catalog()
+        cat.create_table(
+            TableSchema("t", (int_col("x"),), ("x",), slots_per_page=4), 10
+        )
+        tree = BTreeIndex(cat.create_index("bt", "t", 8))
+        with pytest.raises(CatalogError):
+            tree.search((1,), DictAccessor())
+
+    def test_validation(self):
+        cat = Catalog()
+        cat.create_table(
+            TableSchema("t", (int_col("x"),), ("x",), slots_per_page=4), 10
+        )
+        info = cat.create_index("bt", "t", 8)
+        with pytest.raises(CatalogError):
+            BTreeIndex(info, fanout=2)
+        tiny = cat.create_index("bt2", "t", 1)
+        with pytest.raises(CatalogError):
+            BTreeIndex(tiny)
+
+
+class TestSplitsAndStructure:
+    def test_tree_grows_in_height_under_load(self):
+        tree, acc = make_tree(fanout=4)
+        for k in range(60):
+            tree.insert((k,), (k, 0), acc)
+        assert tree.height(acc) >= 3
+        for k in range(60):
+            assert tree.search((k,), acc) == (k, 0)
+
+    def test_random_insert_order(self):
+        tree, acc = make_tree(fanout=8)
+        keys = list(range(200))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), (k, k % 4), acc)
+        for k in range(200):
+            assert tree.search((k,), acc) == (k, k % 4)
+
+    def test_node_count_tracks_allocation(self):
+        tree, acc = make_tree(fanout=4)
+        assert tree.node_count(acc) == 1  # the root leaf
+        for k in range(20):
+            tree.insert((k,), (k, 0), acc)
+        assert tree.node_count(acc) > 3
+
+    def test_exhausted_range_raises(self):
+        tree, acc = make_tree(n_pages=4, fanout=4)
+        with pytest.raises(CatalogError):
+            for k in range(100):
+                tree.insert((k,), (k, 0), acc)
+
+    def test_string_keys(self):
+        tree, acc = make_tree(fanout=4)
+        names = [f"name-{i:03d}" for i in range(30)]
+        for i, name in enumerate(names):
+            tree.insert((name, i), (i, 0), acc)
+        assert tree.search((names[7], 7), acc) == (7, 0)
+
+
+class TestRangeScan:
+    def build(self, n=100, fanout=6):
+        tree, acc = make_tree(fanout=fanout)
+        keys = list(range(0, 2 * n, 2))  # even keys only
+        random.Random(5).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), (k, 0), acc)
+        return tree, acc
+
+    def test_full_scan_is_sorted(self):
+        tree, acc = self.build()
+        scanned = [key for key, _ in tree.range_scan(None, None, acc)]
+        assert scanned == [(k,) for k in range(0, 200, 2)]
+
+    def test_bounded_scan(self):
+        tree, acc = self.build()
+        scanned = [key[0] for key, _ in tree.range_scan((10,), (20,), acc)]
+        assert scanned == [10, 12, 14, 16, 18, 20]
+
+    def test_bounds_between_keys(self):
+        tree, acc = self.build()
+        scanned = [key[0] for key, _ in tree.range_scan((11,), (19,), acc)]
+        assert scanned == [12, 14, 16, 18]
+
+    def test_open_bounds(self):
+        tree, acc = self.build(n=20)
+        low_open = [k[0] for k, _ in tree.range_scan(None, (6,), acc)]
+        assert low_open == [0, 2, 4, 6]
+        high_open = [k[0] for k, _ in tree.range_scan((30,), None, acc)]
+        assert high_open == list(range(30, 40, 2))
+
+    def test_empty_range(self):
+        tree, acc = self.build(n=20)
+        assert list(tree.range_scan((100,), (200,), acc)) == []
+
+
+class TestThroughEngine:
+    def test_btree_through_engine_is_transactional(self, kv_dbms):
+        tree = kv_dbms.create_btree_index("kv_bt", "kv", n_pages=64, fanout=8)
+        tx = kv_dbms.begin()
+        accessor = kv_dbms.tx_accessor(tx)
+        for k in range(40):
+            rid = kv_dbms.index_lookup("kv_pk", (k,))
+            tree.insert((k,), rid, accessor)
+        kv_dbms.commit(tx)
+        tx2 = kv_dbms.begin()
+        accessor2 = kv_dbms.tx_accessor(tx2)
+        assert tree.search((17,), accessor2) == kv_dbms.index_lookup("kv_pk", (17,))
+        kv_dbms.commit(tx2)
+
+    def test_abort_rolls_back_tree_mutations(self, kv_dbms):
+        tree = kv_dbms.create_btree_index("kv_bt", "kv", n_pages=64, fanout=8)
+        tx = kv_dbms.begin()
+        tree.insert((1,), (10, 0), kv_dbms.tx_accessor(tx))
+        kv_dbms.abort(tx)
+        check = kv_dbms.begin()
+        assert tree.search((1,), kv_dbms.tx_accessor(check)) is None
+        kv_dbms.commit(check)
+
+    def test_btree_survives_crash_recovery(self):
+        from repro.recovery.restart import crash_and_restart
+
+        dbms = kv_dbms_with(CachePolicy.FACE_GSC)
+        tree = dbms.create_btree_index("kv_bt", "kv", n_pages=64, fanout=8)
+        tx = dbms.begin()
+        accessor = dbms.tx_accessor(tx)
+        for k in range(50):
+            tree.insert((k,), (k % 16, k % 4), accessor)
+        dbms.commit(tx)
+        crash_and_restart(dbms)
+        check = dbms.begin()
+        accessor = dbms.tx_accessor(check)
+        for k in range(50):
+            assert tree.search((k,), accessor) == (k % 16, k % 4)
+        scanned = [key[0] for key, _ in tree.range_scan((10,), (15,), accessor)]
+        assert scanned == list(range(10, 16))
+        dbms.commit(check)
+
+
+def test_btree_matches_sorted_dict_model():
+    """Property-style: random ops vs a reference dict, checked via scans."""
+    tree, acc = make_tree(fanout=6)
+    model: dict[tuple, tuple] = {}
+    rng = random.Random(11)
+    for step in range(800):
+        key = (rng.randrange(0, 120),)
+        if rng.random() < 0.7:
+            rid = (step, step % 4)
+            tree.insert(key, rid, acc)
+            model[key] = rid
+        else:
+            assert tree.delete(key, acc) == (key in model)
+            model.pop(key, None)
+    assert [k for k, _ in tree.range_scan(None, None, acc)] == sorted(model)
+    for key, rid in model.items():
+        assert tree.search(key, acc) == rid

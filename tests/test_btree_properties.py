@@ -1,0 +1,69 @@
+"""Property-based B+-tree testing against a sorted-dict model."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.db.btree import BTreeIndex
+from repro.db.catalog import Catalog
+from repro.db.schema import TableSchema, int_col
+from tests.test_index import DictAccessor
+
+key_strategy = st.tuples(st.integers(min_value=0, max_value=500))
+operation = st.one_of(
+    st.tuples(st.just("insert"), key_strategy, st.integers(0, 1000)),
+    st.tuples(st.just("delete"), key_strategy, st.none()),
+    st.tuples(st.just("search"), key_strategy, st.none()),
+)
+
+
+def make_tree(fanout: int) -> tuple[BTreeIndex, DictAccessor]:
+    cat = Catalog()
+    cat.create_table(
+        TableSchema("t", (int_col("x"),), ("x",), slots_per_page=4), 10
+    )
+    tree = BTreeIndex(cat.create_index("bt", "t", n_pages=512), fanout=fanout)
+    accessor = DictAccessor()
+    tree.create(accessor)
+    return tree, accessor
+
+
+@given(
+    fanout=st.sampled_from([4, 7, 16]),
+    ops=st.lists(operation, max_size=250),
+)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_btree_agrees_with_model_under_arbitrary_ops(fanout, ops):
+    tree, accessor = make_tree(fanout)
+    model: dict[tuple, tuple] = {}
+    for op, key, payload in ops:
+        if op == "insert":
+            rid = (payload, payload % 4)
+            tree.insert(key, rid, accessor)
+            model[key] = rid
+        elif op == "delete":
+            assert tree.delete(key, accessor) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.search(key, accessor) == model.get(key)
+    # Global ordering invariant: a full scan equals the sorted model.
+    scan = list(tree.range_scan(None, None, accessor))
+    assert [k for k, _ in scan] == sorted(model)
+    assert dict(scan) == model
+
+
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=300), max_size=120),
+    low=st.integers(min_value=-10, max_value=310),
+    high=st.integers(min_value=-10, max_value=310),
+)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_range_scan_matches_filtered_model(keys, low, high):
+    tree, accessor = make_tree(fanout=6)
+    for k in keys:
+        tree.insert((k,), (k, 0), accessor)
+    scanned = [k[0] for k, _ in tree.range_scan((low,), (high,), accessor)]
+    assert scanned == sorted(k for k in keys if low <= k <= high)

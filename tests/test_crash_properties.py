@@ -1,0 +1,81 @@
+"""Property-based crash-consistency: the golden-model durability test.
+
+A random interleaving of updates, commits, aborts, reads, checkpoints and
+crashes runs against the engine while a shadow dict tracks what *committed*
+state must look like.  After every crash+restart, the entire table must
+match the shadow — under every cache policy.  This is Invariant 4 of
+DESIGN.md, machine-checked.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.config import CachePolicy
+from repro.recovery.restart import crash_and_restart
+from tests.conftest import kv_dbms_with, kv_read
+
+KEYS = 24
+
+operation = st.one_of(
+    st.tuples(st.just("update"), st.integers(0, KEYS - 1), st.booleans()),
+    st.tuples(st.just("read"), st.integers(0, KEYS - 1), st.none()),
+    st.tuples(st.just("checkpoint"), st.none(), st.none()),
+    st.tuples(st.just("crash"), st.none(), st.none()),
+)
+
+POLICIES = [
+    CachePolicy.NONE,
+    CachePolicy.FACE,
+    CachePolicy.FACE_GR,
+    CachePolicy.FACE_GSC,
+    CachePolicy.LC,
+    CachePolicy.TAC,
+]
+
+
+@st.composite
+def policy_and_ops(draw):
+    policy = draw(st.sampled_from(POLICIES))
+    ops = draw(st.lists(operation, min_size=1, max_size=60))
+    return policy, ops
+
+
+@given(case=policy_and_ops())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_committed_state_survives_arbitrary_crash_schedules(case):
+    policy, ops = case
+    dbms = kv_dbms_with(policy, buffer_pages=6)
+    shadow = {k: f"v{k}" for k in range(KEYS)}
+    version = 0
+
+    for op, key, commit in ops:
+        if op == "update":
+            version += 1
+            tx = dbms.begin()
+            rid = dbms.index_lookup("kv_pk", (key,))
+            dbms.update_row(tx, "kv", rid, (key, f"u{version}"))
+            if commit:
+                dbms.commit(tx)
+                shadow[key] = f"u{version}"
+            else:
+                dbms.abort(tx)
+        elif op == "read":
+            assert kv_read(dbms, key) == (key, shadow[key])
+        elif op == "checkpoint":
+            dbms.checkpoint()
+        else:  # crash
+            crash_and_restart(dbms)
+            for k in range(KEYS):
+                assert kv_read(dbms, k) == (k, shadow[k]), (
+                    f"lost update on key {k} under {policy.value}"
+                )
+
+    crash_and_restart(dbms)
+    for k in range(KEYS):
+        assert kv_read(dbms, k) == (k, shadow[k])

@@ -1,0 +1,55 @@
+"""Crash-schedule helper (repro.sim.crashes)."""
+
+import pytest
+
+from repro.core.config import CachePolicy
+from repro.errors import ConfigError
+from repro.sim.crashes import crash_mid_interval, run_until_mid_interval
+from repro.sim.runner import ExperimentRunner
+from repro.tpcc.scale import TINY
+from tests.conftest import tiny_config
+
+
+@pytest.fixture
+def runner() -> ExperimentRunner:
+    config = tiny_config(
+        CachePolicy.FACE_GSC, disk_capacity_pages=8192, cache_pages=96,
+        buffer_pages=12,
+    )
+    return ExperimentRunner(config, TINY, seed=4)
+
+
+def test_runs_until_mid_interval_after_min_checkpoints(runner):
+    executed, checkpoints = run_until_mid_interval(
+        runner, checkpoint_interval=0.02, min_checkpoints=2,
+        max_transactions=5_000,
+    )
+    assert checkpoints >= 2
+    assert 0 < executed <= 5_000
+    wall = runner.dbms.wall_clock()
+    assert wall > 0.02  # at least one full interval elapsed
+
+
+def test_max_transactions_bounds_the_run(runner):
+    executed, checkpoints = run_until_mid_interval(
+        runner, checkpoint_interval=1e9, max_transactions=25
+    )
+    assert executed == 25
+    assert checkpoints == 0  # interval unreachably long
+
+
+def test_invalid_interval_rejected(runner):
+    with pytest.raises(ConfigError):
+        run_until_mid_interval(runner, checkpoint_interval=0.0)
+
+
+def test_crash_mid_interval_returns_full_record(runner):
+    crash = crash_mid_interval(
+        runner, checkpoint_interval=0.02, max_transactions=5_000
+    )
+    assert crash.checkpoints_before_crash >= 2
+    assert crash.transactions_before_crash > 0
+    assert crash.crash_wall_seconds > 0
+    assert crash.report.total_time > 0
+    # The system came back: it can process more work.
+    runner.driver.run(20)

@@ -1,0 +1,69 @@
+"""Documentation integrity: the docs must reference real artefacts.
+
+DESIGN.md's per-experiment index and README's benchmark table name files
+and modules; these tests keep them from drifting as the code evolves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+        assert (ROOT / name).exists(), name
+
+
+def test_design_mentions_every_benchmark_file():
+    design = read("DESIGN.md") + read("README.md")
+    for path in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+        assert path.name in design, f"{path.name} missing from the docs"
+
+
+def test_every_referenced_benchmark_exists():
+    for doc in ("DESIGN.md", "README.md", "EXPERIMENTS.md"):
+        for name in re.findall(r"bench_[a-z0-9_{},]+\.py", read(doc)):
+            if "{" in name:  # brace-expansion shorthand in prose
+                stem, _, rest = name.partition("{")
+                variants, _, suffix = rest.partition("}")
+                expanded = [f"{stem}{v}{suffix}" for v in variants.split(",")]
+            else:
+                expanded = [name]
+            for filename in expanded:
+                assert (ROOT / "benchmarks" / filename).exists(), (
+                    f"{doc} references missing {filename}"
+                )
+
+
+def test_design_module_map_matches_source_tree():
+    design = read("DESIGN.md")
+    for module in (ROOT / "src" / "repro").rglob("*.py"):
+        if module.name in ("__init__.py", "__main__.py"):
+            continue
+        assert module.name in design, (
+            f"src module {module.relative_to(ROOT)} missing from DESIGN.md"
+        )
+
+
+def test_readme_examples_exist():
+    readme = read("README.md")
+    for name in re.findall(r"examples/([a-z_]+\.py)", readme):
+        assert (ROOT / "examples" / name).exists(), name
+    for path in (ROOT / "examples").glob("*.py"):
+        assert path.name in readme, f"example {path.name} not advertised"
+
+
+def test_experiments_covers_every_paper_artifact():
+    experiments = read("EXPERIMENTS.md")
+    for artifact in (
+        "Table 1", "Table 3", "Table 4", "Table 5", "Table 6",
+        "Figure 4", "Figure 5", "Figure 6", "2.2",
+    ):
+        assert artifact in experiments, f"{artifact} missing from EXPERIMENTS.md"

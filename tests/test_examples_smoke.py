@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must import and expose a main().
+
+The examples are runnable end to end (they drive BENCH-scale workloads, so
+full runs live outside the unit suite); here we verify they stay importable
+and structurally intact, and we execute the one fast example completely.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load_module(path)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+    assert module.__doc__, f"{path.stem} lacks a module docstring"
+
+
+def test_custom_engine_example_runs_end_to_end(capsys):
+    module = load_module(EXAMPLES_DIR / "custom_engine_usage.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "money conserved across the crash" in out

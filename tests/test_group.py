@@ -1,0 +1,185 @@
+"""Group Replacement and Group Second Chance (Section 3.3)."""
+
+import pytest
+
+from repro.buffer.frame import Frame
+from repro.db.page import Page
+from repro.errors import CacheError
+from repro.flashcache.group import GroupReplacementCache, GroupSecondChanceCache
+from repro.storage.device import IOKind
+from tests.conftest import make_frame
+
+CAPACITY = 32
+DEPTH = 8
+
+
+@pytest.fixture
+def gr(flash_volume, disk_volume) -> GroupReplacementCache:
+    return GroupReplacementCache(
+        flash_volume, disk_volume, capacity=CAPACITY, segment_entries=64,
+        scan_depth=DEPTH,
+    )
+
+
+@pytest.fixture
+def gsc(flash_volume, disk_volume) -> GroupSecondChanceCache:
+    return GroupSecondChanceCache(
+        flash_volume, disk_volume, capacity=CAPACITY, segment_entries=64,
+        scan_depth=DEPTH,
+    )
+
+
+def fill(cache, n=CAPACITY, dirty=True, start=0):
+    for i in range(start, start + n):
+        cache.on_dram_evict(make_frame(i, dirty=dirty, fdirty=dirty))
+
+
+class TestStaging:
+    def test_enqueues_buffer_until_scan_depth(self, gr):
+        writes_before = gr.flash.device.stats.write_pages
+        fill(gr, DEPTH - 1)
+        assert gr.flash.device.stats.write_pages == writes_before
+
+    def test_staging_flush_is_one_batch_write(self, gr):
+        fill(gr, DEPTH)
+        stats = gr.flash.device.stats
+        assert stats.ops[IOKind.SEQ_WRITE] == 1
+        assert stats.pages[IOKind.SEQ_WRITE] == DEPTH
+
+    def test_staged_page_fetchable_without_flash_read(self, gr):
+        gr.on_dram_evict(make_frame(5, dirty=True, fdirty=True))
+        reads_before = gr.flash.device.stats.read_pages
+        result = gr.lookup_fetch(5)
+        assert result is not None
+        assert gr.flash.device.stats.read_pages == reads_before
+
+    def test_finish_checkpoint_flushes_staging(self, gr):
+        gr.on_dram_evict(make_frame(5, dirty=True, fdirty=True))
+        gr.finish_checkpoint()
+        assert gr.flash.peek(gr.directory.physical(0)) is not None
+
+    def test_crash_loses_staged_pages(self, gr):
+        gr.on_dram_evict(make_frame(5, dirty=True, fdirty=True))
+        gr.crash()
+        gr.recover()
+        assert gr.lookup_fetch(5) is None  # never reached flash
+
+
+class TestGroupReplacement:
+    def test_batch_dequeue_frees_scan_depth_slots(self, gr):
+        fill(gr, CAPACITY, dirty=False)
+        gr.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert gr.directory.free_slots == DEPTH - 1
+
+    def test_batch_dequeue_charges_single_batched_read(self, gr):
+        fill(gr, CAPACITY, dirty=False)
+        read_ops_before = gr.flash.device.stats.total_ops
+        gr.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        read_pages = gr.flash.device.stats.pages[IOKind.SEQ_READ]
+        assert read_pages >= DEPTH  # one batch read covering the scan
+
+    def test_dirty_victims_in_batch_reach_disk(self, gr):
+        fill(gr, CAPACITY, dirty=True)
+        gr.finish_checkpoint()
+        gr.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert gr.stats.disk_writes == DEPTH
+        for i in range(DEPTH):
+            assert gr.disk.peek(i) is not None
+
+    def test_no_second_chances_under_gr(self, gr):
+        fill(gr, CAPACITY, dirty=False)
+        gr.finish_checkpoint()
+        gr.lookup_fetch(0)  # reference the front page
+        gr.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert not gr.directory.contains_valid(0)  # evicted anyway
+
+
+class TestGroupSecondChance:
+    def test_referenced_pages_survive_replacement(self, gsc):
+        fill(gsc, CAPACITY, dirty=False)
+        gsc.finish_checkpoint()
+        gsc.lookup_fetch(0)
+        gsc.lookup_fetch(2)
+        gsc.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert gsc.directory.contains_valid(0)
+        assert gsc.directory.contains_valid(2)
+        assert not gsc.directory.contains_valid(1)
+
+    def test_second_chance_is_consumed(self, gsc):
+        fill(gsc, CAPACITY, dirty=False)
+        gsc.finish_checkpoint()
+        gsc.lookup_fetch(0)
+        gsc.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        pos = gsc.directory.valid_position(0)
+        assert not gsc.directory.meta_at(pos).referenced
+
+    def test_unreferenced_dirty_pages_flush_to_disk(self, gsc):
+        fill(gsc, CAPACITY, dirty=True)
+        gsc.finish_checkpoint()
+        gsc.lookup_fetch(0)
+        gsc.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert gsc.stats.disk_writes == DEPTH - 1  # all but the survivor
+        assert gsc.directory.contains_valid(0)
+
+    def test_all_referenced_batch_sacrifices_front(self, gsc):
+        fill(gsc, CAPACITY, dirty=False)
+        gsc.finish_checkpoint()
+        for i in range(DEPTH):
+            gsc.lookup_fetch(i)
+        gsc.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert not gsc.directory.contains_valid(0)  # sacrificed
+        for i in range(1, DEPTH):
+            assert gsc.directory.contains_valid(i)
+
+    def test_pull_callback_fills_the_write_batch(self, gsc):
+        pulled_log = []
+
+        def pull(n):
+            pulled_log.append(n)
+            return [
+                Frame(page=Page(500 + i, slots={0: ("pulled",)}), dirty=True, fdirty=True)
+                for i in range(n)
+            ]
+
+        gsc.set_pull_callback(pull)
+        fill(gsc, CAPACITY, dirty=False)
+        gsc.finish_checkpoint()
+        gsc.on_dram_evict(make_frame(100, dirty=True, fdirty=True))
+        assert pulled_log == [DEPTH - 1]  # no survivors: batch minus incoming
+        assert gsc.directory.contains_valid(500)
+        assert gsc.stats.dirty_evictions >= DEPTH - 1
+
+    def test_pulled_clean_duplicates_are_skipped(self, gsc):
+        def pull(n):
+            # Pull clean frames whose identical copies are already cached.
+            return [make_frame(1, dirty=False) for _ in range(n)]
+
+        gsc.set_pull_callback(pull)
+        fill(gsc, CAPACITY, dirty=False)
+        gsc.finish_checkpoint()
+        gsc.on_dram_evict(make_frame(1, dirty=False))  # page 1 valid & clean
+        # After replacement page 1 still cached exactly once as valid.
+        assert gsc.stats.skipped_enqueues >= 1
+
+    def test_crash_recover_after_group_activity(self, gsc):
+        fill(gsc, CAPACITY + DEPTH, dirty=True)
+        gsc.finish_checkpoint()
+        valid = {i for i in range(CAPACITY + DEPTH) if gsc.directory.contains_valid(i)}
+        gsc.crash()
+        gsc.recover()
+        restored = {
+            i for i in range(CAPACITY + DEPTH) if gsc.directory.contains_valid(i)
+        }
+        assert restored == valid
+
+
+class TestValidation:
+    def test_scan_depth_bounds(self, flash_volume, disk_volume):
+        with pytest.raises(CacheError):
+            GroupReplacementCache(
+                flash_volume, disk_volume, capacity=8, scan_depth=8
+            )
+        with pytest.raises(CacheError):
+            GroupReplacementCache(
+                flash_volume, disk_volume, capacity=64, scan_depth=0
+            )

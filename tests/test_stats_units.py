@@ -1,0 +1,51 @@
+"""Small accounting units: CacheStats, BufferStats, RecoveryTimings."""
+
+import pytest
+
+from repro.buffer.stats import BufferStats
+from repro.flashcache.base import CacheStats, RecoveryTimings
+
+
+class TestCacheStats:
+    def test_hit_rate_zero_when_untouched(self):
+        assert CacheStats().flash_hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(lookups=10, hits=7)
+        assert stats.flash_hit_rate == pytest.approx(0.7)
+
+    def test_write_reduction_conventions(self):
+        assert CacheStats().write_reduction == 0.0  # no dirty evictions yet
+        stats = CacheStats(dirty_evictions=10, disk_writes=4)
+        assert stats.write_reduction == pytest.approx(0.6)
+
+    def test_write_reduction_never_negative(self):
+        # A cleaner can write more than the eviction count (LC checkpoint).
+        stats = CacheStats(dirty_evictions=10, disk_writes=15)
+        assert stats.write_reduction == 0.0
+
+    def test_reset_clears_every_counter(self):
+        stats = CacheStats(
+            lookups=1, hits=1, flash_writes=1, skipped_enqueues=1,
+            dirty_evictions=1, clean_evictions=1, disk_writes=1,
+            invalidated_dirty=1, checkpoint_writes=1,
+        )
+        stats.reset()
+        assert vars(stats) == vars(CacheStats())
+
+
+class TestBufferStats:
+    def test_accesses_and_hit_rate(self):
+        stats = BufferStats(hits=3, misses=1)
+        assert stats.accesses == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        stats.reset()
+        assert stats.hit_rate == 0.0
+
+
+class TestRecoveryTimings:
+    def test_defaults(self):
+        timings = RecoveryTimings()
+        assert not timings.cache_survives
+        assert timings.metadata_restore_time == 0.0
+        assert timings.pages_scanned == 0

@@ -1,0 +1,84 @@
+"""Parameter-sweep utility (repro.sim.sweep)."""
+
+import pytest
+
+from repro.core.config import CachePolicy
+from repro.errors import ConfigError
+from repro.sim.sweep import Sweep, SweepResults
+from repro.tpcc.scale import TINY
+from tests.conftest import tiny_config
+
+
+def factory(policy: CachePolicy, cache_pages: int):
+    return tiny_config(
+        policy, cache_pages=cache_pages, disk_capacity_pages=8192,
+        buffer_pages=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def results() -> SweepResults:
+    sweep = Sweep(
+        dimensions={
+            "policy": [CachePolicy.FACE, CachePolicy.NONE],
+            "cache_pages": [64, 96],
+        },
+        config_factory=factory,
+        scale=TINY,
+        measure_transactions=150,
+        warmup_min=50,
+        warmup_max=1500,
+        seed=6,
+    )
+    return sweep.run()
+
+
+def test_full_factorial_grid(results):
+    assert len(results.cells) == 4
+    assert (CachePolicy.FACE, 64) in results.cells
+    assert (CachePolicy.NONE, 96) in results.cells
+
+
+def test_cells_hold_run_results(results):
+    cell = results.get(CachePolicy.FACE, 96)
+    assert cell.transactions == 150
+    assert cell.tpmc > 0
+
+
+def test_series_extraction(results):
+    series = results.series(fixed={"policy": CachePolicy.FACE}, over="cache_pages")
+    assert [value for value, _ in series] == [64, 96]
+    assert all(r.name == "FaCE" for _, r in series)
+
+
+def test_series_rejects_unknown_dimension(results):
+    with pytest.raises(ConfigError):
+        results.series(fixed={}, over="nope")
+    with pytest.raises(ConfigError):
+        results.series(fixed={"nope": 1}, over="policy")
+
+
+def test_column_shortcut(results):
+    tpmc = results.column("tpmc", CachePolicy.FACE, 64)
+    assert tpmc == results.get(CachePolicy.FACE, 64).tpmc
+
+
+def test_on_cell_callback_sees_every_cell():
+    seen = []
+    sweep = Sweep(
+        dimensions={"policy": [CachePolicy.NONE]},
+        config_factory=lambda policy: tiny_config(policy, disk_capacity_pages=8192),
+        scale=TINY,
+        measure_transactions=50,
+        warmup_min=20,
+        warmup_max=100,
+    )
+    sweep.run(on_cell=lambda key, result: seen.append(key))
+    assert seen == [(CachePolicy.NONE,)]
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        Sweep({}, factory, TINY)
+    with pytest.raises(ConfigError):
+        Sweep({"policy": []}, factory, TINY)

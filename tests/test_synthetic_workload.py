@@ -1,0 +1,118 @@
+"""Synthetic Zipfian key-value workload."""
+
+import pytest
+
+from repro.core.config import CachePolicy
+from repro.core.dbms import SimulatedDBMS
+from repro.errors import WorkloadError
+from repro.workload.synthetic import SyntheticKVWorkload, ZipfGenerator
+from tests.conftest import tiny_config
+
+
+class TestZipf:
+    def test_ranks_within_range(self):
+        gen = ZipfGenerator(100, 0.99, seed=1)
+        draws = [gen.sample() for _ in range(2000)]
+        assert min(draws) >= 0
+        assert max(draws) < 100
+
+    def test_skew_concentrates_on_low_ranks(self):
+        gen = ZipfGenerator(1000, 0.99, seed=1)
+        draws = [gen.sample() for _ in range(20_000)]
+        top10 = sum(1 for d in draws if d < 10)
+        assert top10 / len(draws) > 0.2  # far above the uniform 1%
+
+    def test_zero_exponent_is_uniform(self):
+        gen = ZipfGenerator(10, 0.0, seed=1)
+        assert all(
+            gen.popularity(rank) == pytest.approx(0.1) for rank in range(10)
+        )
+
+    def test_popularity_sums_to_one(self):
+        gen = ZipfGenerator(50, 1.2, seed=1)
+        assert sum(gen.popularity(r) for r in range(50)) == pytest.approx(1.0)
+
+    def test_higher_s_means_more_skew(self):
+        mild = ZipfGenerator(100, 0.5, seed=1)
+        steep = ZipfGenerator(100, 1.5, seed=1)
+        assert steep.popularity(0) > mild.popularity(0)
+
+    def test_determinism(self):
+        a = ZipfGenerator(100, 0.99, seed=9)
+        b = ZipfGenerator(100, 0.99, seed=9)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(10, -0.1)
+
+
+class TestWorkload:
+    def make(self, **kwargs) -> SyntheticKVWorkload:
+        dbms = SimulatedDBMS(
+            tiny_config(CachePolicy.FACE_GSC, disk_capacity_pages=8192,
+                        cache_pages=96, buffer_pages=16)
+        )
+        workload = SyntheticKVWorkload(dbms, n_keys=500, seed=3, **kwargs)
+        workload.load()
+        return workload
+
+    def test_load_populates_all_keys(self):
+        workload = self.make()
+        for key in (0, 250, 499):
+            rid = workload.dbms.index_lookup("synthetic_kv_pk", (key,))
+            row = workload.dbms.fetch_row("synthetic_kv", rid)
+            assert row[0] == key
+            assert row[2] == 0
+
+    def test_run_commits_and_updates(self):
+        workload = self.make(update_fraction=1.0, ops_per_tx=4)
+        workload.run(100)
+        assert workload.committed == 100
+        assert workload.dbms.committed == 100
+        # Versions moved somewhere.
+        total_versions = 0
+        for key in range(500):
+            rid = workload.dbms.index_lookup("synthetic_kv_pk", (key,))
+            total_versions += workload.dbms.fetch_row("synthetic_kv", rid)[2]
+        assert total_versions == 400  # 100 tx x 4 updates
+
+    def test_read_only_mix_never_dirties(self):
+        workload = self.make(update_fraction=0.0)
+        workload.run(50)
+        assert workload.dbms.cache.stats.dirty_evictions == 0
+
+    def test_skew_drives_cache_hits(self):
+        hot = self.make(zipf_s=1.2)
+        cold = self.make(zipf_s=0.0)
+        for w in (hot, cold):
+            w.run(150)
+            w.dbms.reset_measurements()
+            w.run(300)
+        hot_rate = hot.dbms.buffer.stats.hit_rate
+        cold_rate = cold.dbms.buffer.stats.hit_rate
+        assert hot_rate > cold_rate
+
+    def test_validation(self):
+        dbms = SimulatedDBMS(tiny_config())
+        with pytest.raises(WorkloadError):
+            SyntheticKVWorkload(dbms, update_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            SyntheticKVWorkload(dbms, ops_per_tx=0)
+        workload = SyntheticKVWorkload(dbms, n_keys=10)
+        with pytest.raises(WorkloadError):
+            workload.run(-1)
+
+    def test_crash_safe_like_everything_else(self):
+        from repro.recovery.restart import crash_and_restart
+
+        workload = self.make(update_fraction=1.0, ops_per_tx=2)
+        workload.run(100)
+        crash_and_restart(workload.dbms)
+        total = 0
+        for key in range(500):
+            rid = workload.dbms.index_lookup("synthetic_kv_pk", (key,))
+            total += workload.dbms.fetch_row("synthetic_kv", rid)[2]
+        assert total == 200

@@ -1,0 +1,165 @@
+"""TAC, Exadata-style, and null cache baselines."""
+
+import pytest
+
+from repro.flashcache.exadata import ExadataStyleCache
+from repro.flashcache.null import NullFlashCache
+from repro.flashcache.tac import TacCache
+from tests.conftest import make_frame, make_image
+
+CAPACITY = 8
+
+
+@pytest.fixture
+def tac(flash_volume, disk_volume) -> TacCache:
+    return TacCache(
+        flash_volume, disk_volume, capacity=CAPACITY, extent_pages=4,
+        admit_threshold=2,
+    )
+
+
+@pytest.fixture
+def exadata(flash_volume, disk_volume) -> ExadataStyleCache:
+    return ExadataStyleCache(flash_volume, disk_volume, capacity=CAPACITY)
+
+
+class TestTac:
+    def test_cold_extent_not_admitted(self, tac):
+        tac.on_fetch_from_disk(make_image(1))
+        assert tac.cached_pages == 0
+
+    def test_warm_extent_admitted_on_entry(self, tac):
+        tac.note_access(1)
+        tac.note_access(1)  # extent reaches the admission threshold
+        tac.on_fetch_from_disk(make_image(1))
+        assert tac.cached_pages == 1
+        assert tac.lookup_fetch(1) is not None
+
+    def test_extent_heat_is_shared_by_neighbours(self, tac):
+        tac.note_access(0)
+        tac.note_access(1)  # same 4-page extent
+        tac.on_fetch_from_disk(make_image(2))  # also extent 0 -> warm
+        assert tac.cached_pages == 1
+
+    def test_admission_costs_two_metadata_writes(self, tac):
+        tac.note_access(1)
+        tac.note_access(1)
+        writes_before = tac.metadata_writes
+        tac.on_fetch_from_disk(make_image(1))
+        assert tac.metadata_writes == writes_before + 2
+
+    def test_write_through_on_dirty_eviction(self, tac):
+        tac.note_access(1)
+        tac.note_access(1)
+        tac.on_fetch_from_disk(make_image(1))
+        frame = make_frame(1, dirty=True, fdirty=True)
+        tac.on_dram_evict(frame)
+        assert tac.stats.disk_writes == 1  # disk always written
+        image, dirty = tac.lookup_fetch(1)
+        assert not dirty  # flash copy synced with disk
+        assert image.slots[0] == ("row", 1)
+
+    def test_clean_eviction_is_noop(self, tac):
+        disk_before = tac.disk.device.stats.write_pages
+        tac.on_dram_evict(make_frame(2, dirty=False))
+        assert tac.disk.device.stats.write_pages == disk_before
+        assert tac.cached_pages == 0  # on-entry policy never caches on exit
+
+    def test_write_reduction_is_zero_by_design(self, tac):
+        for i in range(6):
+            tac.on_dram_evict(make_frame(i, dirty=True, fdirty=True))
+        assert tac.stats.write_reduction == 0.0
+
+    def test_replacement_evicts_coldest_extent(self, tac):
+        for i in range(CAPACITY + 4):
+            tac.note_access(i)
+            tac.note_access(i)
+            tac.on_fetch_from_disk(make_image(i))
+        # heat up low extents heavily
+        for _ in range(10):
+            tac.note_access(0)
+        assert tac.cached_pages == CAPACITY
+
+    def test_cache_survives_crash(self, tac):
+        tac.note_access(1)
+        tac.note_access(1)
+        tac.on_fetch_from_disk(make_image(1, s0=("keep",)))
+        tac.crash()
+        timings = tac.recover()
+        assert timings.cache_survives
+        assert timings.metadata_restore_time > 0
+        image, _ = tac.lookup_fetch(1)
+        assert image.slots[0] == ("keep",)
+
+    def test_checkpoint_writes_through(self, tac):
+        frame = make_frame(1, dirty=True, fdirty=True)
+        tac.checkpoint_frame(frame)
+        assert tac.disk.peek(1) is not None
+        assert not frame.dirty and not frame.fdirty
+
+
+class TestExadata:
+    def test_caches_on_entry_lru(self, exadata):
+        exadata.on_fetch_from_disk(make_image(1))
+        assert exadata.lookup_fetch(1) is not None
+
+    def test_lru_eviction_is_free(self, exadata):
+        for i in range(CAPACITY + 1):
+            exadata.on_fetch_from_disk(make_image(i))
+        assert exadata.stats.disk_writes == 0
+        assert exadata.lookup_fetch(0) is None  # LRU victim
+        assert exadata.lookup_fetch(CAPACITY) is not None
+
+    def test_hit_refreshes_lru_position(self, exadata):
+        for i in range(CAPACITY):
+            exadata.on_fetch_from_disk(make_image(i))
+        exadata.lookup_fetch(0)
+        exadata.on_fetch_from_disk(make_image(100))
+        assert exadata.lookup_fetch(0) is not None
+        assert exadata.lookup_fetch(1) is None
+
+    def test_dirty_eviction_writes_disk_and_invalidates_cache(self, exadata):
+        exadata.on_fetch_from_disk(make_image(1))
+        exadata.on_dram_evict(make_frame(1, dirty=True, fdirty=True))
+        assert exadata.stats.disk_writes == 1
+        assert exadata.lookup_fetch(1) is None  # stale copy dropped
+
+    def test_crash_cold(self, exadata):
+        exadata.on_fetch_from_disk(make_image(1))
+        exadata.crash()
+        assert exadata.lookup_fetch(1) is None
+        assert not exadata.recover().cache_survives
+
+    def test_checkpoint_goes_to_disk(self, exadata):
+        frame = make_frame(1, dirty=True, fdirty=True)
+        exadata.checkpoint_frame(frame)
+        assert exadata.disk.peek(1) is not None
+        assert not frame.dirty
+
+
+class TestNull:
+    @pytest.fixture
+    def null(self, disk_volume) -> NullFlashCache:
+        return NullFlashCache(disk_volume)
+
+    def test_lookup_always_misses_but_counts(self, null):
+        assert null.lookup_fetch(1) is None
+        assert null.stats.lookups == 1
+
+    def test_dirty_eviction_writes_disk(self, null):
+        null.on_dram_evict(make_frame(1, dirty=True, fdirty=True))
+        assert null.stats.disk_writes == 1
+        assert null.disk.peek(1) is not None
+
+    def test_clean_eviction_free(self, null):
+        null.on_dram_evict(make_frame(1, dirty=False))
+        assert null.stats.disk_writes == 0
+
+    def test_crash_recover_trivial(self, null):
+        null.crash()
+        assert not null.recover().cache_survives
+
+    def test_zero_rates(self, null):
+        assert null.stats.flash_hit_rate == 0.0
+        null.on_dram_evict(make_frame(1, dirty=True, fdirty=True))
+        assert null.stats.write_reduction == 0.0

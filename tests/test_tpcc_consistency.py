@@ -1,0 +1,100 @@
+"""TPC-C clause 3.3 consistency audits (repro.tpcc.consistency)."""
+
+import pytest
+
+from repro.core.config import CachePolicy
+from repro.core.dbms import SimulatedDBMS
+from repro.recovery.restart import crash_and_restart
+from repro.tpcc.consistency import (
+    check_all,
+    check_new_order_queue,
+    check_order_id_chain,
+    check_warehouse_ytd,
+)
+from repro.tpcc.driver import TpccDriver
+from repro.tpcc.loader import load_tpcc
+from repro.tpcc.scale import TINY
+from tests.conftest import tiny_config
+
+
+def build(policy=CachePolicy.FACE_GSC) -> TpccDriver:
+    dbms = SimulatedDBMS(
+        tiny_config(policy, disk_capacity_pages=8192, cache_pages=96,
+                    buffer_pages=12)
+    )
+    return TpccDriver(load_tpcc(dbms, TINY, seed=5), seed=23)
+
+
+def test_fresh_load_is_consistent():
+    driver = build()
+    report = check_all(driver.database)
+    assert report.ok, report.violations
+    assert report.checks_run > 0
+
+
+def test_consistency_holds_through_workload():
+    driver = build()
+    driver.run(400)
+    report = check_all(driver.database)
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("policy", [CachePolicy.FACE_GSC, CachePolicy.NONE])
+def test_consistency_survives_crash(policy):
+    driver = build(policy)
+    driver.run(150)
+    driver.database.dbms.checkpoint()
+    driver.run(150)
+    crash_and_restart(driver.database.dbms)
+    report = check_all(driver.database)
+    assert report.ok, report.violations
+
+
+class TestDetection:
+    """The audits must actually catch seeded corruption."""
+
+    def test_detects_ytd_mismatch(self):
+        driver = build()
+        driver.run(50)
+        database = driver.database
+        dbms = database.dbms
+        tx = dbms.begin()
+        rid = database.warehouse_rid(1)
+        row = dbms.fetch_row("warehouse", rid)
+        corrupted = list(row)
+        corrupted[8] = row[8] + 123.45  # W_YTD drifts from districts
+        dbms.update_row(tx, "warehouse", rid, tuple(corrupted))
+        dbms.commit(tx)
+        from repro.tpcc.consistency import ConsistencyReport
+
+        report = ConsistencyReport()
+        check_warehouse_ytd(database, report)
+        assert not report.ok
+
+    def test_detects_broken_order_chain(self):
+        driver = build()
+        driver.run(50)
+        database = driver.database
+        dbms = database.dbms
+        # Corrupt: bump D_NEXT_O_ID past the real newest order.
+        tx = dbms.begin()
+        rid = database.district_rid(1, 1)
+        row = dbms.fetch_row("district", rid)
+        dbms.update_row(tx, "district", rid,
+                        tuple(list(row[:10]) + [row[10] + 5]))
+        dbms.commit(tx)
+        from repro.tpcc.consistency import ConsistencyReport
+
+        report = ConsistencyReport()
+        check_order_id_chain(database, report)
+        assert not report.ok
+
+    def test_detects_stale_queue_entry(self):
+        driver = build()
+        database = driver.database
+        database.undelivered[(1, 1)].append(999_999)  # phantom order
+        from repro.tpcc.consistency import ConsistencyReport
+
+        report = ConsistencyReport()
+        check_new_order_queue(database, report)
+        assert not report.ok

@@ -1,0 +1,91 @@
+"""Full-page-write machinery in the WAL (PostgreSQL full_page_writes)."""
+
+import pytest
+
+from repro.db.page import PageImage
+from repro.errors import WALError
+from repro.storage.hdd import DiskDevice
+from repro.storage.profiles import HDD_CHEETAH_15K
+from repro.wal.log import LogManager
+from repro.wal.records import UpdateRecord
+
+
+@pytest.fixture
+def log() -> LogManager:
+    return LogManager(DiskDevice(HDD_CHEETAH_15K, 4096))
+
+
+def test_take_fpw_once_per_page_per_cycle(log):
+    assert log.take_fpw(7)
+    assert not log.take_fpw(7)
+    assert log.take_fpw(8)
+
+
+def test_checkpoint_resets_fpw_tracking(log):
+    assert log.take_fpw(7)
+    log.log_checkpoint(frozenset())
+    assert log.take_fpw(7)
+
+
+def test_attach_image_replaces_tail_record(log):
+    record = log.log_update(1, 7, 0, None, ("x",))
+    image = PageImage(7, record.lsn, {0: ("x",)})
+    updated = log.attach_full_page_image(record, image)
+    assert updated.page_image is image
+    assert updated.lsn == record.lsn
+    log.force()
+    durable = log.durable_records()[-1]
+    assert durable.page_image is image
+
+
+def test_attach_must_target_last_append(log):
+    record = log.log_update(1, 7, 0, None, ("x",))
+    log.log_begin(2)  # something else appended since
+    with pytest.raises(WALError):
+        log.attach_full_page_image(record, PageImage(7, record.lsn, {}))
+
+
+def test_fpw_records_cost_a_full_page_of_log(log):
+    plain = UpdateRecord(1, 1, 7, 0, None, ("x",))
+    heavy = UpdateRecord(2, 1, 7, 0, None, ("x",), PageImage(7, 2, {}))
+    assert heavy.size_bytes() - plain.size_bytes() == 4096
+
+
+def test_fpw_increases_forced_log_volume(log):
+    record = log.log_update(1, 7, 0, None, ("x",))
+    log.attach_full_page_image(record, PageImage(7, record.lsn, {0: ("x",)}))
+    log.force()
+    assert log.device.stats.write_pages >= 2  # image pushed past one page
+
+
+def test_dbms_emits_fpw_on_first_touch_only():
+    from repro.core.config import CachePolicy
+    from tests.conftest import kv_dbms_with, kv_write
+
+    dbms = kv_dbms_with(CachePolicy.FACE)
+    kv_write(dbms, 1, "a")
+    kv_write(dbms, 1, "b")  # same page again
+    updates = [
+        r for r in dbms.log.durable_records()
+        if isinstance(r, UpdateRecord) and r.after in ((1, "a"), (1, "b"))
+    ]
+    assert len(updates) == 2
+    assert updates[0].page_image is not None
+    assert updates[1].page_image is None
+
+
+def test_dbms_fpw_image_reflects_post_update_state():
+    from repro.core.config import CachePolicy
+    from tests.conftest import kv_dbms_with, kv_write
+
+    dbms = kv_dbms_with(CachePolicy.FACE)
+    kv_write(dbms, 1, "post-state")
+    updates = [
+        r for r in dbms.log.durable_records()
+        if isinstance(r, UpdateRecord) and r.after == (1, "post-state")
+    ]
+    image = updates[0].page_image
+    assert image is not None
+    assert image.lsn == updates[0].lsn
+    slot = updates[0].slot
+    assert image.slots[slot] == (1, "post-state")
