@@ -9,25 +9,25 @@ alternative for comparison.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 CACHE_FRACTION = 0.12
 
+LABELS = {True: "clean+dirty", False: "dirty-only"}
 
-def _run(cache_clean: bool):
-    config = config_for("FaCE+GSC", CACHE_FRACTION).with_(
-        face_cache_clean=cache_clean,
-        label="clean+dirty" if cache_clean else "dirty-only",
-    )
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX)
+
+def _sweep():
+    cells = steady_cells({
+        label: config_for("FaCE+GSC", CACHE_FRACTION).with_(
+            face_cache_clean=cc, label=label
+        )
+        for cc, label in LABELS.items()
+    })
+    return {cc: cells[label] for cc, label in LABELS.items()}
 
 
 def test_ablation_admission_policy(benchmark):
-    results = once(benchmark, lambda: {cc: _run(cc) for cc in (True, False)})
+    results = once(benchmark, _sweep)
 
     print()
     print(

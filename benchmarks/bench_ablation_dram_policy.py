@@ -10,30 +10,26 @@ benefit is insensitive to the choice.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 CACHE_FRACTION = 0.12
 POLICIES = ("lru", "clock")
 
 
-def _run(policy_name: str, buffer_policy: str):
-    config = config_for(policy_name, CACHE_FRACTION).with_(
-        buffer_policy=buffer_policy
-    )
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX)
-
-
 def test_ablation_dram_replacement_policy(benchmark):
     def run():
-        return {
-            (cache, dram): _run(cache, dram)
+        grid = [
+            (cache, dram)
             for cache in ("FaCE+GSC", "HDD-only")
             for dram in POLICIES
-        }
+        ]
+        cells = steady_cells({
+            f"{cache}/{dram}": config_for(cache, CACHE_FRACTION).with_(
+                buffer_policy=dram
+            )
+            for cache, dram in grid
+        })
+        return {(cache, dram): cells[f"{cache}/{dram}"] for cache, dram in grid}
 
     results = once(benchmark, run)
 

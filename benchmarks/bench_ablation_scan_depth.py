@@ -9,23 +9,22 @@ flat across practical depths.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 CACHE_FRACTION = 0.12
 DEPTHS = (16, 32, 64, 128)
 
 
-def _run(depth: int):
-    config = config_for("FaCE+GSC", CACHE_FRACTION).with_(scan_depth=depth)
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX)
+def _sweep():
+    cells = steady_cells({
+        str(d): config_for("FaCE+GSC", CACHE_FRACTION).with_(scan_depth=d)
+        for d in DEPTHS
+    })
+    return {d: cells[str(d)] for d in DEPTHS}
 
 
 def test_ablation_gsc_scan_depth(benchmark):
-    results = once(benchmark, lambda: {d: _run(d) for d in DEPTHS})
+    results = once(benchmark, _sweep)
 
     print()
     print(

@@ -9,25 +9,25 @@ alternative behind ``face_write_through`` so the claim can be measured.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 CACHE_FRACTION = 0.12
 
+LABELS = {False: "FaCE+GSC (write-back)", True: "FaCE+GSC (write-through)"}
 
-def _run(write_through: bool):
-    config = config_for("FaCE+GSC", CACHE_FRACTION).with_(
-        face_write_through=write_through,
-        label="FaCE+GSC (write-through)" if write_through else "FaCE+GSC (write-back)",
-    )
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX)
+
+def _sweep():
+    cells = steady_cells({
+        label: config_for("FaCE+GSC", CACHE_FRACTION).with_(
+            face_write_through=wt, label=label
+        )
+        for wt, label in LABELS.items()
+    })
+    return {wt: cells[label] for wt, label in LABELS.items()}
 
 
 def test_ablation_writeback_vs_writethrough(benchmark):
-    results = once(benchmark, lambda: {wt: _run(wt) for wt in (False, True)})
+    results = once(benchmark, _sweep)
 
     print()
     print(

@@ -10,12 +10,23 @@ from __future__ import annotations
 
 from repro.analysis.fitting import fit_log_hit_curve
 from repro.analysis.tables import format_table
-from benchmarks.conftest import DB_PAGES, TABLE_FRACTIONS, once, sweep_cell
+from benchmarks.conftest import (
+    DB_PAGES,
+    TABLE_FRACTIONS,
+    once,
+    prefetch_cells,
+    sweep_cell,
+)
 
 
 def test_hit_rate_follows_log_linear_law(benchmark):
     def run():
         out = {}
+        prefetch_cells(
+            (policy, fraction, "mlc")
+            for policy in ("FaCE+GSC", "LC")
+            for fraction in TABLE_FRACTIONS
+        )
         for policy in ("FaCE+GSC", "LC"):
             points = [
                 (fraction * DB_PAGES, sweep_cell(policy, fraction).flash_hit_rate)

@@ -16,12 +16,20 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.tables import format_table
-from benchmarks.conftest import FIG4_FRACTIONS, once, sweep_cell
+from benchmarks.conftest import FIG4_FRACTIONS, once, prefetch_cells, sweep_cell
 
 POLICIES = ("LC", "FaCE", "FaCE+GR", "FaCE+GSC")
 
 
 def _series(flash: str):
+    prefetch_cells(
+        [
+            (policy, fraction, flash)
+            for policy in POLICIES
+            for fraction in FIG4_FRACTIONS
+        ]
+        + [("HDD-only", 0.0, flash), ("SSD-only", 0.0, flash)]
+    )
     out = {
         policy: [sweep_cell(policy, fraction, flash) for fraction in FIG4_FRACTIONS]
         for policy in POLICIES

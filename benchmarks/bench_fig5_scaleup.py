@@ -9,25 +9,21 @@ bottleneck) and ends up *below HDD-only* at 16 disks.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 DISKS = (4, 8, 12, 16)
 CACHE_FRACTION = 0.12
 SERIES = ("FaCE+GSC", "LC", "HDD-only")
 
 
-def _run(policy: str, n_disks: int) -> float:
-    config = config_for(policy, CACHE_FRACTION, n_disks=n_disks)
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX).tpmc
-
-
 def test_fig5_disk_array_scaleup(benchmark):
     def run():
-        return {p: [_run(p, n) for n in DISKS] for p in SERIES}
+        cells = steady_cells({
+            f"{p}/{n}": config_for(p, CACHE_FRACTION, n_disks=n)
+            for p in SERIES
+            for n in DISKS
+        })
+        return {p: [cells[f"{p}/{n}"].tpmc for n in DISKS] for p in SERIES}
 
     results = once(benchmark, run)
 

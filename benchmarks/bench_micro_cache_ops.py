@@ -12,6 +12,8 @@ import itertools
 
 import pytest
 
+from repro.buffer.frame import Frame
+from repro.db.page import Page
 from repro.flashcache.group import GroupSecondChanceCache
 from repro.flashcache.lc import LazyCleaningCache
 from repro.flashcache.mvfifo import MvFifoCache
@@ -95,3 +97,47 @@ def test_micro_crash_recover_roundtrip(benchmark, mvfifo):
         mvfifo.recover()
 
     benchmark(roundtrip)
+
+
+# -- page freeze/thaw (the eviction/enqueue data movement) --------------------
+#
+# Real TPC-C pages carry tens of rows, so the dict work per Page <-> PageImage
+# conversion is the dominant constant of the eviction and fetch paths.  These
+# two guards measure it directly: repeated snapshots of an unmodified page
+# (checkpoints, write-through, conditional enqueue) and the flash-hit
+# thaw -> clean-evict round trip.
+
+_FAT_SLOTS = {s: ("row", s, "payload-column", 4096 + s) for s in range(64)}
+
+
+def _fat_page(page_id: int) -> Page:
+    return Page(page_id, lsn=page_id * 10 + 1, slots=dict(_FAT_SLOTS))
+
+
+def test_micro_page_repeat_snapshot(benchmark):
+    page = _fat_page(1)
+
+    benchmark(page.to_image)
+
+
+def test_micro_page_freeze_thaw_roundtrip(benchmark):
+    image = _fat_page(2).to_image()
+
+    def roundtrip():
+        page = image.to_page()
+        return page.to_image()
+
+    benchmark(roundtrip)
+
+
+def test_micro_flash_hit_thaw(benchmark, mvfifo):
+    for i in range(256):
+        page = _fat_page(i)
+        mvfifo.on_dram_evict(Frame(page=page, dirty=True, fdirty=True))
+    counter = itertools.count()
+
+    def hit_and_thaw():
+        image, _dirty = mvfifo.lookup_fetch(next(counter) % 256)
+        return image.to_page()
+
+    benchmark(hit_and_thaw)

@@ -17,9 +17,7 @@ from __future__ import annotations
 
 from repro.analysis.tables import format_table
 from repro.core.config import CachePolicy
-from repro.sim.runner import ExperimentRunner
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import MEASURE_TX, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import config_for, once, steady_cells
 
 CACHE_FRACTION = 0.12
 
@@ -33,22 +31,17 @@ LANDSCAPE = (
 )
 
 
-def _run(policy: CachePolicy):
-    config = config_for("LC", CACHE_FRACTION).with_(cache_policy=policy)
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner
-
-
 def test_table2_design_landscape(benchmark):
     def run():
-        out = {}
-        for name, policy, design in LANDSCAPE:
-            runner = _run(policy)
-            result = runner.measure(MEASURE_TX)
-            metadata_writes = getattr(runner.dbms.cache, "metadata_writes", 0)
-            out[name] = (design, result, metadata_writes)
-        return out
+        cells = steady_cells({
+            name: config_for("LC", CACHE_FRACTION).with_(cache_policy=policy)
+            for name, policy, _ in LANDSCAPE
+        })
+        return {
+            name: (design, cells[name],
+                   int(cells[name].cache_stats["metadata_writes"]))
+            for name, _, design in LANDSCAPE
+        }
 
     results = once(benchmark, run)
 

@@ -27,12 +27,17 @@ not.
 from __future__ import annotations
 
 from repro.analysis.tables import format_percent_rows
-from benchmarks.conftest import TABLE_FRACTIONS, once, sweep_cell
+from benchmarks.conftest import TABLE_FRACTIONS, once, prefetch_cells, sweep_cell
 
 POLICIES = ("LC", "FaCE", "FaCE+GR", "FaCE+GSC")
 
 
 def _sweep():
+    prefetch_cells(
+        (policy, fraction, "mlc")
+        for policy in POLICIES
+        for fraction in TABLE_FRACTIONS
+    )
     return {
         policy: [sweep_cell(policy, fraction) for fraction in TABLE_FRACTIONS]
         for policy in POLICIES

@@ -16,11 +16,9 @@ rise monotonically.
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.core.config import CachePolicy, scaled_reference_config
-from repro.sim.runner import ExperimentRunner
+from repro.core.config import CachePolicy, SystemConfig, scaled_reference_config
 from repro.storage.profiles import DRAM_TO_FLASH_PRICE_RATIO
-from repro.tpcc.scale import BENCH
-from benchmarks.conftest import DB_PAGES, MEASURE_TX, WARMUP_MAX, WARMUP_MIN, once
+from benchmarks.conftest import DB_PAGES, once, steady_cells
 
 STEPS = (1, 2, 3, 4, 5)
 #: One increment of DRAM: the base buffer itself (200 MB on 50 GB = 0.4 %).
@@ -29,30 +27,27 @@ DRAM_STEP_PAGES = max(16, int(DB_PAGES * 0.004))
 FLASH_STEP_PAGES = int(DRAM_STEP_PAGES * DRAM_TO_FLASH_PRICE_RATIO)
 
 
-def _run(buffer_pages: int, cache_pages: int) -> float:
+def _config(buffer_pages: int, cache_pages: int) -> SystemConfig:
     if cache_pages:
-        config = scaled_reference_config(
+        return scaled_reference_config(
             DB_PAGES, policy=CachePolicy.FACE_GSC
         ).with_(buffer_pages=buffer_pages, cache_pages=cache_pages,
                 segment_entries=max(64, cache_pages // 16))
-    else:
-        config = scaled_reference_config(
-            DB_PAGES, cache_fraction=0.01, policy=CachePolicy.NONE
-        ).with_(buffer_pages=buffer_pages)
-    runner = ExperimentRunner(config, BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX).tpmc
+    return scaled_reference_config(
+        DB_PAGES, cache_fraction=0.01, policy=CachePolicy.NONE
+    ).with_(buffer_pages=buffer_pages)
 
 
 def test_table5_more_dram_vs_more_flash(benchmark):
     def run():
         base_buffer = DRAM_STEP_PAGES
-        dram_row = [
-            _run(base_buffer + k * DRAM_STEP_PAGES, 0) for k in STEPS
-        ]
-        flash_row = [
-            _run(base_buffer, k * FLASH_STEP_PAGES) for k in STEPS
-        ]
+        configs = {}
+        for k in STEPS:
+            configs[f"dram-x{k}"] = _config(base_buffer + k * DRAM_STEP_PAGES, 0)
+            configs[f"flash-x{k}"] = _config(base_buffer, k * FLASH_STEP_PAGES)
+        results = steady_cells(configs)
+        dram_row = [results[f"dram-x{k}"].tpmc for k in STEPS]
+        flash_row = [results[f"flash-x{k}"].tpmc for k in STEPS]
         return dram_row, flash_row
 
     dram_row, flash_row = once(benchmark, run)

@@ -11,7 +11,11 @@ paper's evaluation (Section 5).  All experiments share:
   populated, reset counters, then measure.
 
 Sweep cells are memoised per session so Table 3, Table 4 and Figure 4 —
-which share policy/size grids — pay for each configuration once.
+which share policy/size grids — pay for each configuration once.  Cells are
+independent steady-state measurements, so harnesses run them through the
+parallel engine (:mod:`repro.sim.parallel`): set ``REPRO_BENCH_JOBS=N`` to
+fan each harness's grid out over N worker processes — results are
+bit-identical to a serial run.
 
 Set ``REPRO_BENCH_MODE=full`` for longer runs (tighter estimates, same
 shapes).
@@ -20,17 +24,21 @@ shapes).
 from __future__ import annotations
 
 import os
-from functools import lru_cache
+from typing import Iterable, Mapping
 
 import pytest
 
 from repro.core.config import CachePolicy, SystemConfig, scaled_reference_config
+from repro.sim.parallel import CellSpec, run_cells
 from repro.sim.runner import ExperimentRunner, RunResult
 from repro.storage.profiles import MLC_SAMSUNG_470, SLC_INTEL_X25E
 from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import BENCH
 
 FULL_MODE = os.environ.get("REPRO_BENCH_MODE", "quick") == "full"
+
+#: Worker processes per harness grid (1 = serial, 0 = one per CPU).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 #: Measured transactions per configuration.
 MEASURE_TX = 6000 if FULL_MODE else 2500
@@ -82,12 +90,78 @@ def config_for(
     )
 
 
-@lru_cache(maxsize=None)
+#: Session-wide memo of completed cells, keyed by (policy, fraction, flash).
+#: ``sweep_cell`` fills it on demand; ``prefetch_cells`` fills many keys at
+#: once through the parallel engine.
+_CELL_RESULTS: dict[tuple[str, float, str], RunResult] = {}
+
+
+def _cell_spec(key: tuple[str, float, str]) -> CellSpec:
+    policy_name, cache_fraction, flash = key
+    return CellSpec(
+        key=key,
+        config=config_for(policy_name, cache_fraction, flash),
+        scale=BENCH,
+        seed=42,  # fixed seed — matches the historical memoised cells
+        measure_transactions=MEASURE_TX,
+        warmup_min=WARMUP_MIN,
+        warmup_max=WARMUP_MAX,
+    )
+
+
+def prefetch_cells(keys: Iterable[tuple[str, float, str]], jobs: int | None = None) -> None:
+    """Populate the cell memo for ``keys``, fanning out over ``jobs`` workers.
+
+    Harnesses call this up front with their whole grid so that, when
+    ``REPRO_BENCH_JOBS`` > 1, independent cells run concurrently; the
+    subsequent ``sweep_cell`` lookups are then cache hits.  Results are
+    bit-identical to serial execution.
+    """
+    missing = [k for k in dict.fromkeys(keys) if k not in _CELL_RESULTS]
+    if not missing:
+        return
+    jobs = BENCH_JOBS if jobs is None else jobs
+    _CELL_RESULTS.update(run_cells([_cell_spec(k) for k in missing], jobs=jobs))
+
+
 def sweep_cell(policy_name: str, cache_fraction: float, flash: str = "mlc") -> RunResult:
     """Run (once per session) one steady-state measurement cell."""
-    runner = ExperimentRunner(config_for(policy_name, cache_fraction, flash), BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return runner.measure(MEASURE_TX)
+    key = (policy_name, cache_fraction, flash)
+    if key not in _CELL_RESULTS:
+        prefetch_cells([key])
+    return _CELL_RESULTS[key]
+
+
+def steady_cells(
+    configs: Mapping[str, SystemConfig],
+    *,
+    seed: int = 42,
+    measure_transactions: int | None = None,
+    jobs: int | None = None,
+) -> dict[str, RunResult]:
+    """Measure a set of labelled one-off configurations, possibly in parallel.
+
+    For harnesses whose cells are custom :class:`SystemConfig` builds rather
+    than ``config_for`` grid points (Table 2 policies, Table 5 DRAM-vs-flash,
+    Figure 5 scale-up, the ablations).  Not memoised — each harness owns its
+    own configs.  Returns ``{label: RunResult}`` in input order.
+    """
+    specs = [
+        CellSpec(
+            key=(label,),
+            config=config,
+            scale=BENCH,
+            seed=seed,
+            measure_transactions=(
+                MEASURE_TX if measure_transactions is None else measure_transactions
+            ),
+            warmup_min=WARMUP_MIN,
+            warmup_max=WARMUP_MAX,
+        )
+        for label, config in configs.items()
+    ]
+    jobs = BENCH_JOBS if jobs is None else jobs
+    return {key[0]: result for key, result in run_cells(specs, jobs=jobs).items()}
 
 
 def once(benchmark, fn):

@@ -1,0 +1,192 @@
+"""Benchmark-regression recorder: ``python benchmarks/record.py``.
+
+Runs a fixed, small TINY-scale sweep through the parallel engine and writes
+``BENCH_sweep.json`` next to this file with:
+
+* per-cell wall-clock seconds (host time) and simulated transaction rate,
+* aggregate wall-seconds-per-cell for the serial and parallel passes and
+  the resulting speedup,
+* a determinism flag (parallel results bit-identical to serial),
+* a bounded history of previous records for trend comparison.
+
+If the new serial wall-seconds-per-cell regresses more than
+``REGRESSION_TOLERANCE`` against the previous record, the script warns (and
+exits non-zero with ``--strict``).  Intended uses:
+
+* locally, after a perf-affecting change: ``python benchmarks/record.py``
+* in CI as a cheap smoke: ``python benchmarks/record.py --smoke --jobs 2``
+
+The script is standalone — it does not import pytest or the benchmarks
+conftest — so it can run anywhere the package can.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+# Standalone bootstrap: make `repro` importable when run as a script from
+# a checkout (PYTHONPATH=src not required).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import CachePolicy, scaled_reference_config  # noqa: E402
+from repro.sim.parallel import CellSpec, run_cells  # noqa: E402
+from repro.tpcc.loader import estimate_db_pages  # noqa: E402
+from repro.tpcc.scale import TINY  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+HISTORY_LIMIT = 20
+#: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
+REGRESSION_TOLERANCE = 0.30
+
+POLICIES = (CachePolicy.LC, CachePolicy.FACE, CachePolicy.FACE_GR,
+            CachePolicy.FACE_GSC)
+FRACTIONS = (0.08, 0.16)
+MEASURE_TX = 1500
+SEED = 42
+
+
+def sweep_specs(smoke: bool = False) -> list[CellSpec]:
+    db_pages = estimate_db_pages(TINY)
+    policies = POLICIES[:1] if smoke else POLICIES
+    fractions = FRACTIONS[:2] if smoke else FRACTIONS
+    return [
+        CellSpec(
+            key=(policy.value, fraction),
+            config=scaled_reference_config(
+                db_pages, cache_fraction=fraction, policy=policy
+            ),
+            scale=TINY,
+            seed=SEED,
+            measure_transactions=MEASURE_TX,
+        )
+        for policy in policies
+        for fraction in fractions
+    ]
+
+
+def timed_pass(specs: list[CellSpec], jobs: int) -> tuple[float, dict]:
+    start = time.perf_counter()
+    cells = run_cells(specs, jobs=jobs)
+    return time.perf_counter() - start, cells
+
+
+def cell_rows(cells: dict, wall_by_key: dict) -> list[dict]:
+    return [
+        {
+            "key": list(key),
+            "wall_seconds": round(wall_by_key.get(key, 0.0), 4),
+            "tpmc": round(result.tpmc, 2),
+            "sim_tx_per_sec": round(
+                result.transactions / result.wall_seconds
+                if result.wall_seconds > 0 else 0.0,
+                2,
+            ),
+            "flash_hit_rate": round(result.flash_hit_rate, 6),
+        }
+        for key, result in cells.items()
+    ]
+
+
+def run_record(jobs: int, smoke: bool) -> dict:
+    specs = sweep_specs(smoke)
+
+    # Serial pass, timing each cell individually for the per-cell record.
+    wall_by_key: dict = {}
+    serial_cells: dict = {}
+    serial_start = time.perf_counter()
+    for spec in specs:
+        t0 = time.perf_counter()
+        serial_cells.update(run_cells([spec], jobs=1))
+        wall_by_key[spec.key] = time.perf_counter() - t0
+    serial_wall = time.perf_counter() - serial_start
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "smoke" if smoke else "full",
+        "cells": cell_rows(serial_cells, wall_by_key),
+        "serial": {
+            "wall_seconds": round(serial_wall, 3),
+            "wall_seconds_per_cell": round(serial_wall / len(specs), 4),
+        },
+    }
+
+    if jobs > 1:
+        parallel_wall, parallel_cells = timed_pass(specs, jobs)
+        record["parallel"] = {
+            "jobs": jobs,
+            "wall_seconds": round(parallel_wall, 3),
+            "wall_seconds_per_cell": round(parallel_wall / len(specs), 4),
+            "speedup_vs_serial": round(serial_wall / parallel_wall, 3)
+            if parallel_wall > 0 else None,
+        }
+        record["deterministic"] = parallel_cells == serial_cells
+    else:
+        record["deterministic"] = True  # vacuous: single pass
+
+    return record
+
+
+def compare_with_previous(record: dict, previous: dict | None) -> list[str]:
+    warnings = []
+    if previous is None:
+        return warnings
+    prev_rate = previous.get("serial", {}).get("wall_seconds_per_cell")
+    new_rate = record["serial"]["wall_seconds_per_cell"]
+    if prev_rate and new_rate > prev_rate * (1 + REGRESSION_TOLERANCE):
+        warnings.append(
+            f"serial wall-seconds/cell regressed: {prev_rate:.3f}s -> "
+            f"{new_rate:.3f}s (> {REGRESSION_TOLERANCE:.0%} tolerance)"
+        )
+    if not record.get("deterministic", True):
+        warnings.append("parallel results are NOT bit-identical to serial")
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="parallel pass worker count (1 skips it)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="2-cell CI smoke instead of the full sweep")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on regression warnings")
+    parser.add_argument("--output", type=Path, default=RECORD_PATH)
+    args = parser.parse_args(argv)
+
+    existing = {}
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+    previous = existing.get("latest")
+
+    record = run_record(args.jobs, args.smoke)
+    warnings = compare_with_previous(record, previous)
+
+    history = existing.get("history", [])
+    if previous is not None:
+        history = (history + [previous])[-HISTORY_LIMIT:]
+    args.output.write_text(
+        json.dumps({"latest": record, "history": history}, indent=2) + "\n"
+    )
+
+    print(f"wrote {args.output}")
+    print(f"  cells: {len(record['cells'])}  mode: {record['mode']}")
+    print(f"  serial: {record['serial']['wall_seconds']}s "
+          f"({record['serial']['wall_seconds_per_cell']}s/cell)")
+    if "parallel" in record:
+        p = record["parallel"]
+        print(f"  parallel (jobs={p['jobs']}): {p['wall_seconds']}s "
+              f"(speedup {p['speedup_vs_serial']}x)")
+    print(f"  deterministic: {record['deterministic']}")
+    for warning in warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
+    return 1 if (warnings and args.strict) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ from repro.core.dbms import SimulatedDBMS, Transaction
 from repro.errors import ReproError
 from repro.recovery.restart import RecoveryManager, RestartReport, crash_and_restart
 from repro.sim.metrics import ThroughputSeries
+from repro.sim.parallel import CellSpec, run_cells
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
+from repro.sim.sweep import Sweep, SweepResults
 from repro.tpcc.driver import TpccDriver
 from repro.tpcc.loader import TpccDatabase, load_tpcc
 from repro.tpcc.scale import ScaleProfile
@@ -35,6 +37,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CachePolicy",
+    "CellSpec",
     "ExperimentRunner",
     "RecoveryManager",
     "ReproError",
@@ -42,6 +45,8 @@ __all__ = [
     "RunResult",
     "ScaleProfile",
     "SimulatedDBMS",
+    "Sweep",
+    "SweepResults",
     "SystemConfig",
     "ThroughputSeries",
     "TpccDatabase",
@@ -50,6 +55,7 @@ __all__ = [
     "__version__",
     "crash_and_restart",
     "load_tpcc",
+    "run_cells",
     "run_steady_state",
     "scaled_reference_config",
 ]

@@ -22,9 +22,14 @@ from dataclasses import dataclass, field
 from repro.db.page import Page
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
-    """One buffer-pool frame."""
+    """One buffer-pool frame.
+
+    ``slots=True`` because the simulator materialises one Frame per DRAM
+    admission on the hot path; per-instance ``__dict__`` allocation is
+    measurable at that rate.
+    """
 
     page: Page
     dirty: bool = False

@@ -8,7 +8,9 @@ Commands
 ``sweep``    cache-size sweep for one policy (Figure 4 style series)
 
 All output is plain text / markdown; every command is deterministic for a
-given ``--seed``.
+given ``--seed``.  ``run`` and ``sweep`` execute their independent cells in
+parallel worker processes with ``--jobs N`` (``0`` = one per CPU); results
+are bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -20,7 +22,9 @@ from repro.analysis.report import restart_report_table, run_result_table
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import CachePolicy, scaled_reference_config
 from repro.recovery.restart import RecoveryManager
+from repro.sim.parallel import CellSpec, progress_printer, run_cells
 from repro.sim.runner import ExperimentRunner
+from repro.sim.sweep import Sweep
 from repro.storage.profiles import TABLE1_PROFILES
 from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import BENCH, TINY, ScaleProfile
@@ -47,16 +51,29 @@ def _build_runner(args, policy: CachePolicy, **overrides) -> ExperimentRunner:
 
 
 def cmd_run(args) -> int:
-    results = []
-    for name in args.policies:
-        policy = _POLICY_NAMES[name]
-        runner = _build_runner(args, policy)
-        warmed = runner.warm_up()
-        result = runner.measure(args.transactions)
-        print(f"# {result.name}: warm-up {warmed} tx, measured "
-              f"{args.transactions} tx", file=sys.stderr)
-        results.append(result)
-    print(run_result_table(results, title="Steady-state TPC-C"))
+    scale = _scale(args.scale)
+    specs = [
+        CellSpec(
+            key=(name,),
+            config=scaled_reference_config(
+                estimate_db_pages(scale),
+                cache_fraction=args.cache_fraction,
+                policy=_POLICY_NAMES[name],
+            ),
+            scale=scale,
+            seed=args.seed,
+            measure_transactions=args.transactions,
+            warmup_max=50_000,
+        )
+        for name in args.policies
+    ]
+
+    def report(key, result):
+        print(f"# {result.name}: warm-up {result.warmup_transactions} tx, "
+              f"measured {args.transactions} tx", file=sys.stderr)
+
+    cells = run_cells(specs, jobs=args.jobs, on_cell=report)
+    print(run_result_table(list(cells.values()), title="Steady-state TPC-C"))
     return 0
 
 
@@ -114,15 +131,22 @@ def cmd_devices(args) -> int:
 
 def cmd_sweep(args) -> int:
     policy = _POLICY_NAMES[args.policy]
-    points = []
-    for fraction in args.fractions:
-        sweep_args = argparse.Namespace(**vars(args))
-        sweep_args.cache_fraction = fraction
-        runner = _build_runner(sweep_args, policy)
-        runner.warm_up()
-        result = runner.measure(args.transactions)
-        points.append((fraction * 100, result.tpmc))
-        print(f"# {fraction:.0%}: {result.tpmc:,.0f} tpmC", file=sys.stderr)
+    scale = _scale(args.scale)
+    db_pages = estimate_db_pages(scale)
+    sweep = Sweep(
+        dimensions={"fraction": list(args.fractions)},
+        config_factory=lambda fraction: scaled_reference_config(
+            db_pages, cache_fraction=fraction, policy=policy
+        ),
+        scale=scale,
+        measure_transactions=args.transactions,
+        warmup_max=50_000,
+        seed=args.seed,
+    )
+    results = sweep.run(jobs=args.jobs, progress=progress_printer(sys.stderr))
+    points = [
+        (fraction * 100, results.get(fraction).tpmc) for fraction in args.fractions
+    ]
     print(
         format_series(
             f"tpmC vs cache size - {policy.value}", "cache %", "tpmC", points
@@ -138,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", default="bench", help="tiny|bench (default bench)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent cells "
+             "(1 = serial, 0 = one per CPU; default 1)",
+    )
     parser.add_argument(
         "--cache-fraction", dest="cache_fraction", type=float, default=0.12,
         help="flash cache as a fraction of the database (default 0.12)",

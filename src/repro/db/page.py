@@ -12,6 +12,15 @@ already reflected in a page.
 header + tagged values).  The simulation hot path moves :class:`PageImage`
 objects instead of bytes for speed, but the serde is exercised by tests and
 by the recovery metadata scan, and round-trips exactly.
+
+The ``Page`` ↔ ``PageImage`` round-trip is the simulator's hottest data
+movement (every DRAM eviction freezes a page; every flash/disk fetch thaws
+one), so the slot mapping is shared copy-on-write between the two forms:
+freezing hands the live dict to the image, thawing hands the image's dict to
+the page, and the first mutation after either transfer copies.  A page whose
+contents have not changed since the last snapshot returns the *same*
+``PageImage`` object, which also lets the conditional-enqueue path skip
+re-materialising identical copies.
 """
 
 from __future__ import annotations
@@ -38,11 +47,11 @@ _TAG_TUPLE = 4
 class PageImage:
     """Immutable snapshot of a page as stored on flash or disk.
 
-    ``slots`` maps slot number -> row tuple.  The mapping is copied on
-    creation and must never be mutated afterwards; :meth:`to_page` copies it
-    again on the way back into DRAM, so an image can back any number of
-    cached versions safely (the mvFIFO cache keeps several versions of the
-    same page id).
+    ``slots`` maps slot number -> row tuple.  The mapping must never be
+    mutated once the image exists: it is shared copy-on-write with the
+    :class:`Page` that froze it and with every page thawed from it, so an
+    image can back any number of cached versions safely (the mvFIFO cache
+    keeps several versions of the same page id).
     """
 
     page_id: int
@@ -50,8 +59,10 @@ class PageImage:
     slots: Mapping[int, tuple]
 
     def to_page(self) -> "Page":
-        """Thaw into a fresh mutable DRAM page."""
-        return Page(self.page_id, lsn=self.lsn, slots=dict(self.slots))
+        """Thaw into a mutable DRAM page (sharing ``slots`` copy-on-write)."""
+        page = Page(self.page_id, lsn=self.lsn, slots=self.slots)
+        page._image = self
+        return page
 
 
 class Page:
@@ -61,36 +72,62 @@ class Page:
     index bucket pages (see :mod:`repro.db.index`); any hashable key works.
     """
 
-    __slots__ = ("page_id", "lsn", "slots")
+    __slots__ = ("page_id", "lsn", "_slots", "_image")
 
     def __init__(
         self, page_id: int, lsn: int = 0, slots: dict | None = None
     ) -> None:
         self.page_id = page_id
         self.lsn = lsn
-        self.slots: dict = slots if slots is not None else {}
+        self._slots: dict = slots if slots is not None else {}
+        #: Cached frozen snapshot.  Non-``None`` also means ``_slots`` is
+        #: shared with that image and must be copied before any mutation.
+        self._image: PageImage | None = None
+
+    @property
+    def slots(self) -> dict:
+        return self._slots
+
+    @slots.setter
+    def slots(self, mapping: dict) -> None:
+        self._slots = mapping
+        self._image = None
 
     # -- row access -----------------------------------------------------------
 
     def get(self, slot) -> tuple | None:
         """Return the row in ``slot`` or ``None`` if empty."""
-        return self.slots.get(slot)
+        return self._slots.get(slot)
 
     def put(self, slot, row: tuple, lsn: int) -> None:
         """Install ``row`` at ``slot``, stamping the page with ``lsn``."""
-        self.slots[slot] = row
+        if self._image is not None:
+            self._slots = dict(self._slots)
+            self._image = None
+        self._slots[slot] = row
         self.lsn = lsn
 
     def delete(self, slot, lsn: int) -> None:
         """Remove the row at ``slot`` (idempotent), stamping ``lsn``."""
-        self.slots.pop(slot, None)
+        if self._image is not None:
+            self._slots = dict(self._slots)
+            self._image = None
+        self._slots.pop(slot, None)
         self.lsn = lsn
 
     # -- snapshots ----------------------------------------------------------
 
     def to_image(self) -> PageImage:
-        """Freeze the current contents for writing to a non-volatile tier."""
-        return PageImage(self.page_id, self.lsn, dict(self.slots))
+        """Freeze the current contents for writing to a non-volatile tier.
+
+        Repeated snapshots of an unmodified page return the same image
+        object; the slot mapping transfers to the image copy-on-write.
+        """
+        image = self._image
+        if image is None:
+            image = PageImage(self.page_id, self.lsn, self._slots)
+            self._image = image
+        return image
 
     # -- serde ----------------------------------------------------------------
 

@@ -74,18 +74,19 @@ class GroupReplacementCache(MvFifoCache):
         """Write the staged rear run as one (or two, on wrap) batch I/O."""
         if not self._staged:
             return
+        capacity = self.capacity
         positions = sorted(self._staged)
-        run_start = positions[0]
+        run_start_physical = positions[0] % capacity
         run: list[CacheSlotImage] = []
         for position in positions:
-            physical = self.directory.physical(position)
-            if run and physical != (self.directory.physical(run_start) + len(run)):
-                self.flash.write_batch(self.directory.physical(run_start), run)
-                run_start = position
+            physical = position % capacity
+            if run and physical != run_start_physical + len(run):
+                self.flash.write_batch(run_start_physical, run)
+                run_start_physical = physical
                 run = []
             run.append(self._staged[position])
         if run:
-            self.flash.write_batch(self.directory.physical(run_start), run)
+            self.flash.write_batch(run_start_physical, run)
         self._staged.clear()
 
     def _read_slot(self, position: int) -> PageImage:
@@ -99,7 +100,7 @@ class GroupReplacementCache(MvFifoCache):
         staged = self._staged.get(position)
         if staged is not None:
             return staged.image
-        return unwrap_image(self.flash.peek(self.directory.physical(position)))
+        return unwrap_image(self.flash.peek(position % self.capacity))
 
     # -- batched dequeue ---------------------------------------------------------
 

@@ -89,7 +89,9 @@ class MvFifoCache(FlashCacheBase):
 
     def _read_slot(self, position: int) -> PageImage:
         """Physically read the page at a live queue position."""
-        slot = self.flash.read_page(self.directory.physical(position))
+        # ``position % capacity`` is directory.physical() inlined: lookups
+        # and evictions hit this line for every cache operation.
+        slot = self.flash.read_page(position % self.capacity)
         return unwrap_image(slot)
 
     # -- write path -----------------------------------------------------------
@@ -106,9 +108,10 @@ class MvFifoCache(FlashCacheBase):
         if is_dirty and self.write_through:
             # Ablation: write-through pays a disk write per dirty eviction
             # and the cached copy enters in sync with disk.
-            self._write_disk(frame.page.to_image())
+            image = frame.page.to_image()
+            self._write_disk(image)
             if frame.fdirty or not self.directory.contains_valid(frame.page_id):
-                self._enqueue(frame.page.to_image(), dirty=False)
+                self._enqueue(image, dirty=False)
             else:
                 self.stats.skipped_enqueues += 1
             return
@@ -133,12 +136,20 @@ class MvFifoCache(FlashCacheBase):
 
     def _write_slot(self, position: int, slot: CacheSlotImage) -> None:
         """Physically append one slot at the rear (sequential flash write)."""
-        self.flash.write_page(self.directory.physical(position), slot)
+        self.flash.write_page(position % self.capacity, slot)
 
     def _make_room(self, needed: int) -> None:
-        """Dequeue until at least ``needed`` slots are free (one at a time)."""
-        while self.directory.free_slots < needed:
-            position, meta = self.directory.dequeue()
+        """Dequeue until at least ``needed`` slots are free.
+
+        The deficit is computed once and the front slots come off in one
+        :meth:`~repro.flashcache.directory.FifoDirectory.dequeue_batch`;
+        each slot is still charged exactly the I/O the paper's one-at-a-time
+        rule implies (flash read + disk write only for valid-dirty victims).
+        """
+        deficit = needed - self.directory.free_slots
+        if deficit <= 0:
+            return
+        for position, meta in self.directory.dequeue_batch(deficit):
             if meta.valid and meta.dirty:
                 image = self._read_slot(position)
                 self._write_disk(image)

@@ -2,11 +2,21 @@
 
 from repro.sim.crashes import CrashRun, crash_mid_interval, run_until_mid_interval
 from repro.sim.metrics import ThroughputSample, ThroughputSeries
+from repro.sim.parallel import (
+    CellProgress,
+    CellSpec,
+    derive_cell_seed,
+    progress_printer,
+    run_cell,
+    run_cells,
+)
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
 from repro.sim.sweep import Sweep, SweepResults
 from repro.sim.trace import IOTracer, TraceEvent, replay
 
 __all__ = [
+    "CellProgress",
+    "CellSpec",
     "CrashRun",
     "ExperimentRunner",
     "IOTracer",
@@ -17,7 +27,11 @@ __all__ = [
     "ThroughputSeries",
     "TraceEvent",
     "crash_mid_interval",
+    "derive_cell_seed",
+    "progress_printer",
     "replay",
+    "run_cell",
+    "run_cells",
     "run_steady_state",
     "run_until_mid_interval",
 ]

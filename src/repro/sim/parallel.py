@@ -1,0 +1,220 @@
+"""Parallel experiment-execution engine for sweep grids.
+
+The paper's evaluation is a grid — {policy} x {cache size} x {device} x
+{checkpoint interval} — of *independent* steady-state simulations, which is
+embarrassingly parallel.  This module fans such cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* A cell travels to a worker as a picklable :class:`CellSpec` — the fully
+  materialised :class:`~repro.core.config.SystemConfig`, scale profile,
+  seed, and measurement protocol — never as a closure.  Sweep factories are
+  evaluated in the parent process, so even lambda factories parallelise;
+  only the *configs they produce* must pickle.
+* Per-cell seeds are derived from ``(seed, cell_key)`` with a stable hash
+  (:func:`derive_cell_seed`) — never from worker identity or submission
+  order — so a parallel run is bit-identical to a serial run of the same
+  grid, and to any re-run at any ``jobs`` count.
+* Results are collected **in grid order** regardless of completion order,
+  and the optional ``on_cell`` / ``progress`` callbacks fire in that same
+  deterministic order as results are gathered.
+* When the pool cannot be created (restricted environments, missing
+  semaphores) or dies mid-run, the remaining cells fall back to in-process
+  serial execution with a :class:`RuntimeWarning` — the sweep always
+  completes with identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence, TextIO
+
+from repro.core.config import SystemConfig
+from repro.errors import ConfigError
+from repro.sim.runner import ExperimentRunner, RunResult
+from repro.tpcc.scale import ScaleProfile
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell, declaratively: everything a worker needs, picklable.
+
+    This replaces the closure-based ``config_factory`` contract at the
+    process boundary: the config is already built, so no user code crosses
+    into the worker.
+    """
+
+    key: tuple
+    config: SystemConfig
+    scale: ScaleProfile
+    seed: int
+    measure_transactions: int = 2000
+    warmup_min: int = 500
+    warmup_max: int = 15_000
+    checkpoint_interval: float | None = None
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """Progress snapshot handed to ``progress`` callbacks, one per cell."""
+
+    completed: int
+    total: int
+    key: tuple
+    result: RunResult
+    #: Real (harness) seconds since the sweep started.
+    elapsed_seconds: float
+
+
+def derive_cell_seed(seed: int, key: tuple) -> int:
+    """Stable per-cell seed from ``(seed, cell_key)``.
+
+    Uses SHA-256 of the canonical ``repr`` rather than :func:`hash` so the
+    value is identical across processes and interpreter runs (``hash`` is
+    randomised per process for strings).  Worker identity never enters the
+    derivation — that is what makes parallel and serial sweeps bit-identical.
+    """
+    digest = hashlib.sha256(f"{seed}|{key!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Execute one cell start-to-finish (module-level: the worker target)."""
+    runner = ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
+    runner.warm_up(spec.warmup_min, spec.warmup_max)
+    return runner.measure(
+        spec.measure_transactions, checkpoint_interval=spec.checkpoint_interval
+    )
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a jobs request: ``None``/``0`` mean one per available CPU."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0 (0 = all CPUs), got {jobs}")
+    return jobs
+
+
+def ensure_picklable(specs: Sequence[CellSpec]) -> None:
+    """Raise a clear error before submitting anything unpicklable to a pool."""
+    for spec in specs:
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise ConfigError(
+                f"sweep cell {spec.key!r} cannot be sent to a worker process "
+                f"({exc}); make the cell's config picklable or run with "
+                f"jobs=1"
+            ) from exc
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int | None = 1,
+    on_cell: Callable[[tuple, RunResult], None] | None = None,
+    progress: Callable[[CellProgress], None] | None = None,
+) -> dict[tuple, RunResult]:
+    """Run every cell; return ``{key: result}`` in the order of ``specs``.
+
+    ``jobs=1`` (the default) runs in-process; ``jobs>1`` uses a process
+    pool; ``jobs in (None, 0)`` uses one worker per CPU.  Callbacks fire in
+    spec order as results are gathered, in every mode.
+    """
+    keys = [spec.key for spec in specs]
+    if len(set(keys)) != len(keys):
+        raise ConfigError("sweep cells must have unique keys")
+    jobs = resolve_jobs(jobs)
+    start = time.perf_counter()
+    results: dict[tuple, RunResult] = {}
+
+    def gather(spec: CellSpec, result: RunResult) -> None:
+        results[spec.key] = result
+        if on_cell is not None:
+            on_cell(spec.key, result)
+        if progress is not None:
+            progress(
+                CellProgress(
+                    completed=len(results),
+                    total=len(specs),
+                    key=spec.key,
+                    result=result,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+
+    if jobs <= 1 or len(specs) <= 1:
+        for spec in specs:
+            gather(spec, run_cell(spec))
+        return results
+
+    ensure_picklable(specs)
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+    except (OSError, ValueError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); running sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for spec in specs:
+            gather(spec, run_cell(spec))
+        return results
+
+    with executor:
+        try:
+            pending = [(spec, executor.submit(run_cell, spec)) for spec in specs]
+        except (OSError, BrokenProcessPool) as exc:
+            warnings.warn(
+                f"process pool failed at submit ({exc}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for spec in specs:
+                gather(spec, run_cell(spec))
+            return results
+        for spec, future in pending:
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                # A worker died (OOM killer, container limits).  Finish the
+                # remaining cells in-process: slower, never wrong.
+                warnings.warn(
+                    f"process pool broke mid-sweep ({exc}); finishing "
+                    f"remaining cells serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                for tail_spec, tail_future in pending:
+                    if tail_spec.key not in results:
+                        gather(tail_spec, run_cell(tail_spec))
+                break
+            gather(spec, result)
+    return results
+
+
+def progress_printer(stream: TextIO | None = None) -> Callable[[CellProgress], None]:
+    """A ready-made ``progress`` callback: one status line per finished cell.
+
+    Prints cells-completed, the cell key, its throughput, and wall-clock
+    elapsed — enough to watch a long grid from a terminal::
+
+        [3/8] ('face', 1024): 4,312 tpmC  (12.4s elapsed)
+    """
+    out = stream if stream is not None else sys.stderr
+
+    def report(p: CellProgress) -> None:
+        print(
+            f"[{p.completed}/{p.total}] {p.key}: {p.result.tpmc:,.0f} tpmC  "
+            f"({p.elapsed_seconds:.1f}s elapsed)",
+            file=out,
+        )
+
+    return report

@@ -35,6 +35,9 @@ class RunResult:
     duplicate_fraction: float = 0.0
     resource_times: dict[str, float] = field(default_factory=dict)
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: Transactions spent populating the cache before the measured region
+    #: (carried on the result so parallel workers can report it).
+    warmup_transactions: int = 0
 
     @property
     def flash_utilization(self) -> float:
@@ -54,6 +57,7 @@ class ExperimentRunner:
         self.database: TpccDatabase = load_tpcc(self.dbms, scale, seed=seed)
         self.driver = TpccDriver(self.database, seed=seed + 1)
         self._last_checkpoint_wall = 0.0
+        self.warmup_transactions = 0
 
     # -- warm-up ----------------------------------------------------------------
 
@@ -71,6 +75,7 @@ class ExperimentRunner:
         self.dbms.reset_measurements()
         self.driver.stats.reset()
         self._last_checkpoint_wall = 0.0
+        self.warmup_transactions = executed
         return executed
 
     def _cache_populated(self) -> bool:
@@ -132,6 +137,7 @@ class ExperimentRunner:
         return RunResult(
             name=self.config.display_name,
             transactions=self.driver.stats.executed,
+            warmup_transactions=self.warmup_transactions,
             wall_seconds=wall,
             tpmc=self.driver.tpmc(wall),
             dram_hit_rate=dbms.buffer.stats.hit_rate,
@@ -150,6 +156,8 @@ class ExperimentRunner:
                 "dirty_evictions": stats.dirty_evictions,
                 "skipped_enqueues": stats.skipped_enqueues,
                 "invalidated_dirty": stats.invalidated_dirty,
+                # TAC's per-entry metadata cost (Section 4.1); 0 elsewhere.
+                "metadata_writes": getattr(dbms.cache, "metadata_writes", 0),
             },
         )
 

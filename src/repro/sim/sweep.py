@@ -6,6 +6,24 @@ interval} (Table 6).  :class:`Sweep` runs such grids with one steady-state
 measurement per cell and collects :class:`~repro.sim.runner.RunResult`
 objects keyed by cell, so harnesses, notebooks and the CLI share the same
 loop instead of each hand-rolling it.
+
+Cells are independent, so the grid parallelises: ``Sweep(..., jobs=N)`` or
+``sweep.run(jobs=N)`` fans cells out over worker processes via
+:mod:`repro.sim.parallel`.  Two ways to describe the grid:
+
+* the legacy ``config_factory`` callable, called once per cell **in the
+  parent process** — any callable works (lambdas included) because only the
+  :class:`~repro.core.config.SystemConfig` it returns crosses the process
+  boundary.  If a produced config cannot pickle, ``jobs>1`` raises a
+  :class:`~repro.errors.ConfigError` naming the cell; ``jobs=1`` still
+  works.
+* a declarative list of :class:`~repro.sim.parallel.CellSpec` via
+  :meth:`Sweep.from_cells`, for grids that are not a full factorial or that
+  need per-cell measurement protocols.
+
+Per-cell seeds are derived from ``(seed, cell_key)`` — see
+:func:`~repro.sim.parallel.derive_cell_seed` — so serial and parallel runs
+of the same sweep produce bit-identical :class:`SweepResults`.
 """
 
 from __future__ import annotations
@@ -15,7 +33,13 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.config import SystemConfig
 from repro.errors import ConfigError
-from repro.sim.runner import ExperimentRunner, RunResult
+from repro.sim.parallel import (
+    CellProgress,
+    CellSpec,
+    derive_cell_seed,
+    run_cells,
+)
+from repro.sim.runner import RunResult
 from repro.tpcc.scale import ScaleProfile
 
 #: Builds the config for one sweep cell from its parameter values.
@@ -63,9 +87,14 @@ class Sweep:
         Ordered mapping of dimension name -> iterable of values.
     config_factory:
         Called with one keyword argument per dimension; returns the
-        :class:`SystemConfig` for that cell.
+        :class:`SystemConfig` for that cell.  Evaluated in the parent
+        process, so it need not be picklable itself — but with ``jobs>1``
+        the configs it returns must be.
     scale:
         TPC-C scale profile every cell runs.
+    jobs:
+        Default worker-process count for :meth:`run` (1 = serial, 0/None =
+        one per CPU).
     """
 
     def __init__(
@@ -77,6 +106,7 @@ class Sweep:
         warmup_min: int = 500,
         warmup_max: int = 15_000,
         seed: int = 42,
+        jobs: int | None = 1,
     ) -> None:
         if not dimensions:
             raise ConfigError("a sweep needs at least one dimension")
@@ -89,6 +119,40 @@ class Sweep:
         self.warmup_min = warmup_min
         self.warmup_max = warmup_max
         self.seed = seed
+        self.jobs = jobs
+        self._explicit_cells: list[CellSpec] | None = None
+
+    @classmethod
+    def from_cells(
+        cls,
+        cells: Sequence[CellSpec],
+        dimensions: Sequence[str],
+        jobs: int | None = 1,
+    ) -> "Sweep":
+        """Build a sweep from pre-materialised (declarative) cell specs.
+
+        ``dimensions`` names the positions of each cell key; the cells need
+        not form a full factorial.  Seeds are taken from the specs verbatim.
+        """
+        if not cells:
+            raise ConfigError("a sweep needs at least one cell")
+        dims = tuple(dimensions)
+        for spec in cells:
+            if len(spec.key) != len(dims):
+                raise ConfigError(
+                    f"cell key {spec.key!r} does not match dimensions {dims!r}"
+                )
+        sweep = cls.__new__(cls)
+        sweep.dimensions = {name: () for name in dims}
+        sweep.config_factory = None
+        sweep.scale = cells[0].scale
+        sweep.measure_transactions = cells[0].measure_transactions
+        sweep.warmup_min = cells[0].warmup_min
+        sweep.warmup_max = cells[0].warmup_max
+        sweep.seed = cells[0].seed
+        sweep.jobs = jobs
+        sweep._explicit_cells = list(cells)
+        return sweep
 
     def _grid(self) -> Iterable[tuple]:
         keys = list(self.dimensions)
@@ -103,16 +167,44 @@ class Sweep:
 
         yield from recurse((), keys)
 
-    def run(self, on_cell: Callable[[tuple, RunResult], None] | None = None) -> SweepResults:
-        """Execute every cell; optionally observe each as it completes."""
-        results = SweepResults(dimensions=tuple(self.dimensions))
+    def cell_specs(self) -> list[CellSpec]:
+        """Materialise every cell as a picklable :class:`CellSpec`."""
+        if self._explicit_cells is not None:
+            return list(self._explicit_cells)
+        specs = []
         for key in self._grid():
             bound = dict(zip(self.dimensions, key))
-            config = self.config_factory(**bound)
-            runner = ExperimentRunner(config, self.scale, seed=self.seed)
-            runner.warm_up(self.warmup_min, self.warmup_max)
-            result = runner.measure(self.measure_transactions)
-            results.cells[key] = result
-            if on_cell is not None:
-                on_cell(key, result)
+            specs.append(
+                CellSpec(
+                    key=key,
+                    config=self.config_factory(**bound),
+                    scale=self.scale,
+                    seed=derive_cell_seed(self.seed, key),
+                    measure_transactions=self.measure_transactions,
+                    warmup_min=self.warmup_min,
+                    warmup_max=self.warmup_max,
+                )
+            )
+        return specs
+
+    def run(
+        self,
+        on_cell: Callable[[tuple, RunResult], None] | None = None,
+        jobs: int | None = None,
+        progress: Callable[[CellProgress], None] | None = None,
+    ) -> SweepResults:
+        """Execute every cell; optionally observe each as it completes.
+
+        ``on_cell(key, result)`` keeps its historical signature;
+        ``progress`` additionally receives wall-clock and cells-completed
+        information (see :func:`~repro.sim.parallel.progress_printer`).
+        ``jobs`` overrides the sweep's default for this run.
+        """
+        results = SweepResults(dimensions=tuple(self.dimensions))
+        results.cells = run_cells(
+            self.cell_specs(),
+            jobs=self.jobs if jobs is None else jobs,
+            on_cell=on_cell,
+            progress=progress,
+        )
         return results
