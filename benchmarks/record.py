@@ -15,6 +15,9 @@ exits non-zero with ``--strict``).  Intended uses:
 
 * locally, after a perf-affecting change: ``python benchmarks/record.py``
 * in CI as a cheap smoke: ``python benchmarks/record.py --smoke --jobs 2``
+* diagnosing a regressed cell: ``python benchmarks/record.py --obs`` adds a
+  per-cell observability extract (cache/buffer/WAL counters) to the record,
+  so the *why* behind a wall-seconds or tpmC shift is in the JSON, not lost
 
 The script is standalone — it does not import pytest or the benchmarks
 conftest — so it can run anywhere the package can.
@@ -51,7 +54,7 @@ MEASURE_TX = 1500
 SEED = 42
 
 
-def sweep_specs(smoke: bool = False) -> list[CellSpec]:
+def sweep_specs(smoke: bool = False, collect_obs: bool = False) -> list[CellSpec]:
     db_pages = estimate_db_pages(TINY)
     policies = POLICIES[:1] if smoke else POLICIES
     fractions = FRACTIONS[:2] if smoke else FRACTIONS
@@ -64,6 +67,7 @@ def sweep_specs(smoke: bool = False) -> list[CellSpec]:
             scale=TINY,
             seed=SEED,
             measure_transactions=MEASURE_TX,
+            collect_obs=collect_obs,
         )
         for policy in policies
         for fraction in fractions
@@ -76,9 +80,28 @@ def timed_pass(specs: list[CellSpec], jobs: int) -> tuple[float, dict]:
     return time.perf_counter() - start, cells
 
 
+#: Metric prefixes worth carrying into the benchmark record when ``--obs``
+#: is on: enough to explain *why* a cell's throughput moved, small enough
+#: to keep BENCH_sweep.json readable.
+OBS_PREFIXES = ("flashcache.", "buffer.pool.", "wal.")
+
+
+def obs_extract(result) -> dict[str, float] | None:
+    """Counters/gauges from the cell's snapshot under :data:`OBS_PREFIXES`."""
+    if result.obs is None:
+        return None
+    flat = result.obs.as_flat()
+    return {
+        name: flat[name]
+        for name in sorted(flat)
+        if name.startswith(OBS_PREFIXES) and flat[name]
+    }
+
+
 def cell_rows(cells: dict, wall_by_key: dict) -> list[dict]:
-    return [
-        {
+    rows = []
+    for key, result in cells.items():
+        row = {
             "key": list(key),
             "wall_seconds": round(wall_by_key.get(key, 0.0), 4),
             "tpmc": round(result.tpmc, 2),
@@ -89,12 +112,15 @@ def cell_rows(cells: dict, wall_by_key: dict) -> list[dict]:
             ),
             "flash_hit_rate": round(result.flash_hit_rate, 6),
         }
-        for key, result in cells.items()
-    ]
+        extract = obs_extract(result)
+        if extract is not None:
+            row["obs"] = extract
+        rows.append(row)
+    return rows
 
 
-def run_record(jobs: int, smoke: bool) -> dict:
-    specs = sweep_specs(smoke)
+def run_record(jobs: int, smoke: bool, collect_obs: bool = False) -> dict:
+    specs = sweep_specs(smoke, collect_obs=collect_obs)
 
     # Serial pass, timing each cell individually for the per-cell record.
     wall_by_key: dict = {}
@@ -156,6 +182,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="2-cell CI smoke instead of the full sweep")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero on regression warnings")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect per-cell observability snapshots and "
+                             "record a counter extract per cell")
     parser.add_argument("--output", type=Path, default=RECORD_PATH)
     args = parser.parse_args(argv)
 
@@ -164,7 +193,7 @@ def main(argv: list[str] | None = None) -> int:
         existing = json.loads(args.output.read_text())
     previous = existing.get("latest")
 
-    record = run_record(args.jobs, args.smoke)
+    record = run_record(args.jobs, args.smoke, collect_obs=args.obs)
     warnings = compare_with_previous(record, previous)
 
     history = existing.get("history", [])

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Tour of the observability layer: explaining the Table 2 gap with metrics.
+
+Runs the same short TPC-C workload under FaCE+GSC and under Lazy Cleaning
+with the metric registry enabled, then diffs the two snapshots.  The
+counters tell the paper's Section 3 story directly:
+
+* LC overwrites cached slots in place (``insert.overwrite`` — random flash
+  writes) and pays the cleaner (``cleaner.flushes`` — disk writes), while
+* FaCE only appends (``enqueue.*`` — sequential flash writes) and lets
+  multi-versioning kill superseded dirty pages for free
+  (``dequeue.invalidated_dirty``), batching what must reach disk.
+
+That I/O-shape difference is why FaCE's throughput leads in Table 2 even
+at a similar flash hit ratio.
+
+Run:  python examples/observability_tour.py
+"""
+
+from __future__ import annotations
+
+from repro import OBS, CachePolicy, ExperimentRunner, scaled_reference_config
+from repro.tpcc import BENCH, estimate_db_pages
+
+TRANSACTIONS = 1_000
+
+#: The metrics that carry the Section 3 argument, in presentation order.
+INTERESTING = (
+    ("lookups", "flash-cache lookups (DRAM misses)"),
+    ("hits", "flash hits (Table 3a numerator)"),
+    ("evictions.dirty", "dirty DRAM evictions (Table 3b denominator)"),
+    ("disk_writes", "pages the cache wrote to disk"),
+    ("enqueue.dirty", "FaCE: dirty enqueues (sequential flash writes)"),
+    ("enqueue.clean", "FaCE: clean enqueues"),
+    ("dequeue.invalidated_dirty", "FaCE: dirty versions that died free"),
+    ("second_chances", "GSC: referenced pages re-enqueued"),
+    ("insert.fresh", "LC: first-time slot writes (random)"),
+    ("insert.overwrite", "LC: in-place overwrites (random)"),
+    ("cleaner.flushes", "LC: lazy-cleaner disk writes"),
+)
+
+
+def measure(policy: CachePolicy):
+    """One warmed, measured run with observability on; returns the result
+    and the policy-prefixed snapshot of the measured region."""
+    db_pages = estimate_db_pages(BENCH)
+    config = scaled_reference_config(db_pages, policy=policy)
+    runner = ExperimentRunner(config, BENCH, seed=42)
+    OBS.enable()
+    runner.warm_up()  # resets the registry at the measurement boundary
+    result = runner.measure(TRANSACTIONS)
+    snapshot = OBS.snapshot()
+    OBS.reset()
+    return result, snapshot, runner.dbms.cache.obs_prefix
+
+
+def main() -> None:
+    face, face_snap, face_prefix = measure(CachePolicy.FACE_GSC)
+    lc, lc_snap, lc_prefix = measure(CachePolicy.LC)
+
+    print(f"{'metric':44s} {'FaCE+GSC':>12s} {'LC':>12s}")
+    print("-" * 70)
+    for suffix, label in INTERESTING:
+        face_value = face_snap.get(f"{face_prefix}.{suffix}")
+        lc_value = lc_snap.get(f"{lc_prefix}.{suffix}")
+        print(f"{label:44s} {face_value:12g} {lc_value:12g}")
+    print("-" * 70)
+    print(f"{'throughput (tpmC)':44s} {face.tpmc:12,.0f} {lc.tpmc:12,.0f}")
+    print(f"{'flash hit rate':44s} {face.flash_hit_rate:12.3f} "
+          f"{lc.flash_hit_rate:12.3f}")
+    print(f"{'write reduction':44s} {face.write_reduction:12.3f} "
+          f"{lc.write_reduction:12.3f}")
+    print()
+    print("FaCE's flash writes are sequential enqueues and its dequeues are")
+    print("mostly free (invalidated or clean); LC's are in-place random")
+    print("overwrites plus cleaner disk writes — the Table 2 throughput gap,")
+    print("explained from the counters alone.")
+
+
+if __name__ == "__main__":
+    main()

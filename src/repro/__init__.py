@@ -24,6 +24,7 @@ paper-vs-measured record of every table and figure.
 from repro.core.config import CachePolicy, SystemConfig, scaled_reference_config
 from repro.core.dbms import SimulatedDBMS, Transaction
 from repro.errors import ReproError
+from repro.obs import OBS, RegistrySnapshot, merge_snapshots
 from repro.recovery.restart import RecoveryManager, RestartReport, crash_and_restart
 from repro.sim.metrics import ThroughputSeries
 from repro.sim.parallel import CellSpec, run_cells
@@ -39,7 +40,9 @@ __all__ = [
     "CachePolicy",
     "CellSpec",
     "ExperimentRunner",
+    "OBS",
     "RecoveryManager",
+    "RegistrySnapshot",
     "ReproError",
     "RestartReport",
     "RunResult",
@@ -55,6 +58,7 @@ __all__ = [
     "__version__",
     "crash_and_restart",
     "load_tpcc",
+    "merge_snapshots",
     "run_cells",
     "run_steady_state",
     "scaled_reference_config",

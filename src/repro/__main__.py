@@ -1,4 +1,11 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Delegates straight to :func:`repro.cli.main`, which parses the subcommand
+(``run``, ``recover``, ``devices``, ``sweep``, ``stats``) and executes the
+corresponding deterministic simulated experiment.  Keeping this shim free
+of logic means every behaviour reachable from the command line is also
+reachable — and testable — as a plain function call.
+"""
 
 from repro.cli import main
 

@@ -23,6 +23,7 @@ from repro.buffer.replacement import ReplacementPolicy, make_policy
 from repro.buffer.stats import BufferStats
 from repro.db.page import Page
 from repro.errors import BufferFullError, ConfigError
+from repro.obs import OBS
 
 
 class BufferPool:
@@ -36,6 +37,7 @@ class BufferPool:
         self._policy: ReplacementPolicy = make_policy(policy)
         self._frames: dict[int, Frame] = {}
         self.stats = BufferStats()
+        self._obs_handles: dict | None = None
 
     # -- lookups -----------------------------------------------------------
 
@@ -48,8 +50,12 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is None:
             self.stats.misses += 1
+            if OBS.enabled:
+                self._obs_handle("miss").inc()
             return None
         self.stats.hits += 1
+        if OBS.enabled:
+            self._obs_handle("hit").inc()
         self._policy.touch(frame)
         frame.referenced = True
         return frame
@@ -129,8 +135,22 @@ class BufferPool:
         self.stats.evictions += 1
         if frame.dirty or frame.fdirty:
             self.stats.dirty_evictions += 1
+            if OBS.enabled:
+                self._obs_handle("evict.dirty").inc()
         else:
             self.stats.clean_evictions += 1
+            if OBS.enabled:
+                self._obs_handle("evict.clean").inc()
+
+    def _obs_handle(self, suffix: str):
+        """Lazily cached ``buffer.pool.<suffix>`` counter (guarded callers)."""
+        handles = self._obs_handles
+        if handles is None:
+            handles = self._obs_handles = {}
+        counter = handles.get(suffix)
+        if counter is None:
+            counter = handles[suffix] = OBS.counter(f"buffer.pool.{suffix}")
+        return counter
 
     # -- checkpoint support ----------------------------------------------------
 

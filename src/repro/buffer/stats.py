@@ -1,4 +1,11 @@
-"""Buffer-pool counters."""
+"""Buffer-pool counters: hits, misses, and evictions by cleanliness.
+
+A tiny dataclass kept separate from :class:`~repro.buffer.pool.BufferPool`
+so measurement code (the runner, reports, tests) can reset and read
+counters without touching pool internals.  ``dirty_evictions`` here is the
+source of truth for the denominator of the paper's Table 3(b)
+write-reduction ratio.
+"""
 
 from __future__ import annotations
 

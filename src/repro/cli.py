@@ -6,6 +6,8 @@ Commands
 ``recover``  crash + restart comparison (Table 6 style)
 ``devices``  microbenchmark the simulated device models (Table 1 style)
 ``sweep``    cache-size sweep for one policy (Figure 4 style series)
+``stats``    one measured run with observability on; prints every internal
+             metric plus the derived Table 3 figures (also ``--json``/``--csv``)
 
 All output is plain text / markdown; every command is deterministic for a
 given ``--seed``.  ``run`` and ``sweep`` execute their independent cells in
@@ -129,6 +131,53 @@ def cmd_devices(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from repro.obs import OBS
+
+    policy = _POLICY_NAMES[args.policy]
+    OBS.enable()
+    runner = _build_runner(args, policy)
+    runner.warm_up(max_transactions=50_000)  # warm_up resets OBS at the boundary
+    result = runner.measure(args.transactions)
+    snap = OBS.snapshot()
+
+    if args.json:
+        print(snap.to_json())
+        return 0
+    if args.csv:
+        rows = snap.to_csv(args.csv)
+        print(f"wrote {rows} metrics to {args.csv}", file=sys.stderr)
+
+    prefix = runner.dbms.cache.obs_prefix
+    lookups = snap.get(f"{prefix}.lookups")
+    hits = snap.get(f"{prefix}.hits")
+    dirty = snap.get(f"{prefix}.evictions.dirty")
+    disk_writes = snap.get(f"{prefix}.disk_writes")
+    obs_hit = hits / lookups if lookups else 0.0
+    obs_wr = max(0.0, 1.0 - disk_writes / dirty) if dirty else 0.0
+    print(f"# {result.name}: {result.transactions} tx measured, "
+          f"{result.tpmc:,.0f} tpmC")
+    print(format_table(
+        "Derived from metrics vs. RunResult",
+        ["figure", "from metrics", "from RunResult"],
+        [
+            ("flash hit rate (Table 3a)",
+             f"{obs_hit:.4f}", f"{result.flash_hit_rate:.4f}"),
+            ("write reduction (Table 3b)",
+             f"{obs_wr:.4f}", f"{result.write_reduction:.4f}"),
+        ],
+        width=28,
+    ))
+    flat = snap.as_flat()
+    print(format_table(
+        "All metrics (measured region)",
+        ["metric", "value"],
+        [(name, f"{flat[name]:g}") for name in sorted(flat)],
+        width=44,
+    ))
+    return 0
+
+
 def cmd_sweep(args) -> int:
     policy = _POLICY_NAMES[args.policy]
     scale = _scale(args.scale)
@@ -195,6 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--transactions", type=int, default=2000)
     sweep.set_defaults(func=cmd_sweep)
+
+    stats = sub.add_parser(
+        "stats", help="measured run with observability; metric dump + Table 3 check"
+    )
+    stats.add_argument("policy", choices=sorted(_POLICY_NAMES))
+    stats.add_argument("--transactions", type=int, default=2000)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the snapshot as JSON instead of tables")
+    stats.add_argument("--csv", metavar="PATH",
+                       help="also write metric,value rows to PATH")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

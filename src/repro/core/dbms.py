@@ -42,6 +42,7 @@ from repro.db.index import HashIndex
 from repro.db.page import Page, PageImage
 from repro.db.schema import TableSchema
 from repro.errors import CatalogError, TransactionError
+from repro.obs import OBS
 from repro.storage.volume import Volume
 from repro.wal.log import LogManager
 from repro.wal.records import UpdateRecord
@@ -112,6 +113,7 @@ class SimulatedDBMS:
         self.checkpoints = 0
         self._load_pages: dict[int, Page] | None = None
         self._in_recovery = False
+        self._obs_lookup = None  # lazy (lookups, hits) counter pair
 
     # ------------------------------------------------------------------
     # schema & bulk load
@@ -194,6 +196,17 @@ class SimulatedDBMS:
             return frame
         # DRAM miss: search the flash cache, then disk (Figure 1, steps 3-4).
         flash_hit = self.cache.lookup_fetch(page_id)
+        if OBS.enabled:
+            handles = self._obs_lookup
+            if handles is None:
+                prefix = self.cache.obs_prefix
+                handles = self._obs_lookup = (
+                    OBS.counter(f"{prefix}.lookups"),
+                    OBS.counter(f"{prefix}.hits"),
+                )
+            handles[0].inc()
+            if flash_hit is not None:
+                handles[1].inc()
         if flash_hit is not None:
             image, flash_dirty = flash_hit
             frame = self._admit(image.to_page())
@@ -383,6 +396,12 @@ class SimulatedDBMS:
         oldest = min((tx.begin_lsn for tx in self._active.values()), default=None)
         self.log.log_checkpoint(frozenset(self._active), oldest_needed_lsn=oldest)
         self.checkpoints += 1
+        OBS.trace(
+            "dbms.checkpoint",
+            sim_time=self.wall_clock(),
+            frames_flushed=len(dirty),
+            policy=self.cache.name,
+        )
         return len(dirty)
 
     # ------------------------------------------------------------------

@@ -1,4 +1,13 @@
-"""Factory wiring a :class:`SystemConfig` to concrete devices and caches."""
+"""Factory wiring a :class:`SystemConfig` to concrete devices and caches.
+
+This is the single place where the config's declarative fields (policy
+enum, device counts, cache pages) become live objects: the database volume
+(RAID-0 array or single SSD for the paper's "SSD only" case), the dedicated
+log device, the flash volume, and the flash-cache policy instance.  Keeping
+construction here means the DBMS, CLI, sweeps and tests all build identical
+systems from identical configs — which is what makes cells picklable and
+parallel runs reproducible.
+"""
 
 from __future__ import annotations
 

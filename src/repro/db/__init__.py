@@ -1,4 +1,13 @@
-"""Mini page-based storage engine: pages, heaps, catalog, durable hash index."""
+"""Mini page-based storage engine: pages, heaps, catalog, durable hash index.
+
+Just enough of a storage engine to host TPC-C under the paper's I/O paths:
+slotted :class:`~repro.db.page.Page` objects with page LSNs (the redo
+guard), heap files with RID allocation, a catalog mapping tables and
+indexes to page ranges, a bucket-per-page hash index, a WAL-logged B+-tree
+(:mod:`~repro.db.btree`), and physical-consistency checkers
+(:mod:`~repro.db.verify`).  All I/O goes through the buffer/cache layers;
+nothing here talks to a device directly.
+"""
 
 from repro.db.btree import BTreeIndex
 from repro.db.catalog import Catalog, IndexInfo, TableInfo

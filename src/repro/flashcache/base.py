@@ -24,6 +24,7 @@ from typing import Callable
 
 from repro.buffer.frame import Frame
 from repro.db.page import PageImage
+from repro.obs import OBS, sanitize
 from repro.storage.volume import Volume
 
 
@@ -102,6 +103,28 @@ class FlashCacheBase(abc.ABC):
         self.disk = disk
         self.stats = CacheStats()
         self._pull_callback: PullCallback | None = None
+        self._obs_cache: dict | None = None
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def obs_prefix(self) -> str:
+        """Metric namespace for this policy (``flashcache.<policy>``)."""
+        return f"flashcache.{sanitize(self.name)}"
+
+    def _obs_counter(self, suffix: str):
+        """Lazily cached per-policy counter ``flashcache.<policy>.<suffix>``.
+
+        Call sites guard with ``if OBS.enabled:`` so the disabled cost is a
+        branch; handles survive :meth:`~repro.obs.MetricRegistry.reset`.
+        """
+        cache = self._obs_cache
+        if cache is None:
+            cache = self._obs_cache = {}
+        counter = cache.get(suffix)
+        if counter is None:
+            counter = cache[suffix] = OBS.counter(f"{self.obs_prefix}.{suffix}")
+        return counter
 
     # -- wiring ---------------------------------------------------------------
 
@@ -154,13 +177,19 @@ class FlashCacheBase(abc.ABC):
     def _count_eviction(self, frame: Frame) -> None:
         if frame.dirty or frame.fdirty:
             self.stats.dirty_evictions += 1
+            if OBS.enabled:
+                self._obs_counter("evictions.dirty").inc()
         else:
             self.stats.clean_evictions += 1
+            if OBS.enabled:
+                self._obs_counter("evictions.clean").inc()
 
     def _write_disk(self, image: PageImage) -> None:
         """Write ``image`` to its home disk location, counting it."""
         self.disk.write_page(image.page_id, image)
         self.stats.disk_writes += 1
+        if OBS.enabled:
+            self._obs_counter("disk_writes").inc()
 
     def reset_stats(self) -> None:
         self.stats.reset()

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.db.page import PageImage
 from repro.errors import CacheError
+from repro.obs import OBS
 from repro.flashcache.metadata import CacheSlotImage, unwrap_image
 from repro.flashcache.mvfifo import MvFifoCache
 from repro.storage.ssd import PAGES_PER_BLOCK
@@ -74,6 +75,9 @@ class GroupReplacementCache(MvFifoCache):
         """Write the staged rear run as one (or two, on wrap) batch I/O."""
         if not self._staged:
             return
+        if OBS.enabled:
+            self._obs_counter("staging.flushes").inc()
+            OBS.gauge(f"{self.obs_prefix}.staging.batch_size").set(len(self._staged))
         capacity = self.capacity
         positions = sorted(self._staged)
         run_start_physical = positions[0] % capacity
@@ -112,12 +116,21 @@ class GroupReplacementCache(MvFifoCache):
         """GR: one batched read of the front, flush valid-dirty, discard rest."""
         depth = min(self.scan_depth, self.directory.size)
         self._charge_front_read(depth)
+        obs = OBS.enabled
+        if obs:
+            OBS.gauge(f"{self.obs_prefix}.dequeue.batch_size").set(depth)
         for _ in range(depth):
             position, meta = self.directory.dequeue()
             if meta.valid and meta.dirty:
                 self._write_disk(self._peek_slot(position))
+                if obs:
+                    self._obs_counter("dequeue.flushed").inc()
             elif meta.dirty and not meta.valid:
                 self.stats.invalidated_dirty += 1
+                if obs:
+                    self._obs_counter("dequeue.invalidated_dirty").inc()
+            elif obs:
+                self._obs_counter("dequeue.discarded").inc()
         self.metadata.note_front(self.directory.front)
 
     def _charge_front_read(self, depth: int) -> None:
@@ -147,17 +160,24 @@ class GroupSecondChanceCache(GroupReplacementCache):
     def _batch_dequeue(self) -> None:
         depth = min(self.scan_depth, self.directory.size)
         self._charge_front_read(depth)
+        obs = OBS.enabled
+        if obs:
+            OBS.gauge(f"{self.obs_prefix}.dequeue.batch_size").set(depth)
         survivors: list[tuple[PageImage, bool]] = []  # (image, dirty)
         for _ in range(depth):
             position, meta = self.directory.dequeue()
             if not meta.valid:
                 if meta.dirty:
                     self.stats.invalidated_dirty += 1
+                    if obs:
+                        self._obs_counter("dequeue.invalidated_dirty").inc()
                 continue
             if meta.referenced:
                 survivors.append((self._peek_slot(position), meta.dirty))
             elif meta.dirty:
                 self._write_disk(self._peek_slot(position))
+                if obs:
+                    self._obs_counter("dequeue.flushed").inc()
             # valid, clean, unreferenced: discarded for free.
         if len(survivors) >= depth:
             # Rare case (paper): every page in the batch was referenced —
@@ -166,6 +186,8 @@ class GroupSecondChanceCache(GroupReplacementCache):
             if dirty:
                 self._write_disk(image)
         self.metadata.note_front(self.directory.front)
+        if obs and survivors:
+            self._obs_counter("second_chances").inc(len(survivors))
         for image, dirty in survivors:
             self._enqueue(image, dirty)  # re-enqueue with a fresh ref flag
         self._pull_from_dram(depth, len(survivors))
@@ -186,3 +208,5 @@ class GroupSecondChanceCache(GroupReplacementCache):
         for frame in self._pull_callback(want):
             self._count_eviction(frame)
             self._handle_eviction(frame)
+            if OBS.enabled:
+                self._obs_counter("dram_pulls").inc()

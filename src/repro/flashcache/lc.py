@@ -26,6 +26,7 @@ from repro.db.page import PageImage
 from repro.errors import CacheError
 from repro.flashcache.base import FlashCacheBase, RecoveryTimings
 from repro.flashcache.lru2 import Lru2Policy
+from repro.obs import OBS
 from repro.storage.volume import Volume
 
 
@@ -81,12 +82,18 @@ class LazyCleaningCache(FlashCacheBase):
             lba = self._acquire_slot()
             self._slot_of[page_id] = lba
             self._set_dirty(page_id, dirty)
+            if OBS.enabled:
+                self._obs_counter("insert.fresh").inc()
         else:
             # In-place overwrite keeps the single always-current copy.
             self._set_dirty(page_id, self._dirty[page_id] or dirty)
+            if OBS.enabled:
+                self._obs_counter("insert.overwrite").inc()
         self.flash.write_page(lba, image)  # random flash write
         self._policy.touch(page_id)
         self.stats.flash_writes += 1
+        if OBS.enabled:
+            OBS.gauge(f"{self.obs_prefix}.dirty_fraction").set(self.dirty_fraction)
 
     def _acquire_slot(self) -> int:
         if self._free:
@@ -130,6 +137,8 @@ class LazyCleaningCache(FlashCacheBase):
         self._write_disk(image)
         self._set_dirty(page_id, False)
         self.cleaner_flushes += 1
+        if OBS.enabled:
+            self._obs_counter("cleaner.flushes").inc()
 
     # -- checkpointing -----------------------------------------------------------
 

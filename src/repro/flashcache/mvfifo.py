@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.buffer.frame import Frame
 from repro.db.page import PageImage
 from repro.errors import CacheError
+from repro.obs import OBS
 from repro.flashcache.base import FlashCacheBase, RecoveryTimings
 from repro.flashcache.directory import FifoDirectory
 from repro.flashcache.metadata import CacheSlotImage, MetadataManager, unwrap_image
@@ -121,18 +122,24 @@ class MvFifoCache(FlashCacheBase):
             self._enqueue(frame.page.to_image(), dirty=is_dirty)
         else:
             self.stats.skipped_enqueues += 1
+            if OBS.enabled:
+                self._obs_counter("enqueue.skipped").inc()
 
     def _enqueue(self, image: PageImage, dirty: bool) -> None:
         # Invalidate the previous version *before* choosing a victim: if the
         # front slot is that very version it is now discarded for free
         # instead of being redundantly flushed to disk.
-        self.directory.invalidate(image.page_id)
+        superseded = self.directory.invalidate(image.page_id)
         if self.directory.is_full:
             self._make_room(1)
         position = self.directory.enqueue(image.page_id, image.lsn, dirty)
         self._write_slot(position, CacheSlotImage(position, dirty, image))
         self.metadata.note_enqueue(position, image.page_id, image.lsn, dirty)
         self.stats.flash_writes += 1
+        if OBS.enabled:
+            self._obs_counter("enqueue.dirty" if dirty else "enqueue.clean").inc()
+            if superseded:
+                self._obs_counter("invalidations").inc()
 
     def _write_slot(self, position: int, slot: CacheSlotImage) -> None:
         """Physically append one slot at the rear (sequential flash write)."""
@@ -153,9 +160,15 @@ class MvFifoCache(FlashCacheBase):
             if meta.valid and meta.dirty:
                 image = self._read_slot(position)
                 self._write_disk(image)
+                if OBS.enabled:
+                    self._obs_counter("dequeue.flushed").inc()
             elif meta.dirty and not meta.valid:
                 self.stats.invalidated_dirty += 1
-            # valid-clean and invalid-clean slots are discarded for free.
+                if OBS.enabled:
+                    self._obs_counter("dequeue.invalidated_dirty").inc()
+            elif OBS.enabled:
+                # valid-clean and invalid-clean slots are discarded for free.
+                self._obs_counter("dequeue.discarded").inc()
         self.metadata.note_front(self.directory.front)
 
     # -- checkpointing -----------------------------------------------------------
@@ -171,6 +184,8 @@ class MvFifoCache(FlashCacheBase):
         if frame.fdirty or not self.directory.contains_valid(frame.page_id):
             self._enqueue(frame.page.to_image(), dirty=frame.dirty)
             self.stats.checkpoint_writes += 1
+            if OBS.enabled:
+                self._obs_counter("checkpoint.writes").inc()
         frame.fdirty = False
 
     def finish_checkpoint(self) -> None:

@@ -31,6 +31,7 @@ from repro.buffer.frame import Frame
 from repro.db.page import PageImage
 from repro.errors import CacheError
 from repro.flashcache.base import FlashCacheBase, RecoveryTimings
+from repro.obs import OBS
 from repro.storage.profiles import PAGE_SIZE
 from repro.storage.volume import Volume
 
@@ -94,6 +95,8 @@ class TacCache(FlashCacheBase):
         self.flash.device.write(entry_page, 1)
         self.flash.device.write(entry_page, 1)
         self.metadata_writes += 2
+        if OBS.enabled:
+            self._obs_counter("metadata.writes").inc(2)
 
     # -- read path ------------------------------------------------------------
 
@@ -119,6 +122,8 @@ class TacCache(FlashCacheBase):
         self.flash.write_page(lba, image)  # random flash write
         self.stats.flash_writes += 1
         self._update_directory_entry(lba)
+        if OBS.enabled:
+            self._obs_counter("admissions").inc()
 
     def _acquire_slot(self) -> int:
         if self._free:

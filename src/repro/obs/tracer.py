@@ -1,0 +1,89 @@
+"""Low-overhead event tracer with a bounded ring buffer.
+
+Where the metric registry answers "how many / how long", the tracer
+answers "in what order": checkpoints firing, crashes, recovery phases,
+metadata-segment flushes.  Events carry the *simulated* clock (never host
+time), a dotted name, and a small payload tuple of key/value pairs, so a
+trace captured in a sweep worker is deterministic and picklable.
+
+The buffer is a ``deque(maxlen=capacity)``: emitting is O(1), memory is
+bounded, and a long run simply keeps the most recent ``capacity`` events —
+the right default for "why did the tail of this run regress?" forensics.
+Tracing follows the registry's enable switch; see
+:meth:`repro.obs.registry.MetricRegistry.enabled`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Default ring capacity; ~100 bytes/event keeps the worst case small.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence (picklable, deterministic)."""
+
+    sequence: int
+    sim_time: float
+    name: str
+    #: Sorted ``(key, value)`` pairs; values are numbers or short strings.
+    payload: tuple[tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        fields = " ".join(f"{k}={v}" for k, v in self.payload)
+        return f"[{self.sim_time:.6f}s] {self.name} {fields}".rstrip()
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._sequence = 0
+        #: Events emitted in total, including any the ring has dropped.
+        self.emitted = 0
+
+    def emit(self, name: str, sim_time: float = 0.0, **payload) -> None:
+        self._sequence += 1
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(
+                sequence=self._sequence,
+                sim_time=sim_time,
+                name=name,
+                payload=tuple(sorted(payload.items())),
+            )
+        )
+
+    def events(self, name: str | None = None) -> list[TraceEvent]:
+        """Buffered events, oldest first; optionally filtered by name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    @property
+    def dropped(self) -> int:
+        """Events the ring buffer has discarded to stay bounded."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._sequence = 0
+        self.emitted = 0

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.core.dbms import SimulatedDBMS
 from repro.errors import RecoveryError
+from repro.obs import OBS
 from repro.wal.records import (
     AbortRecord,
     BeginRecord,
@@ -98,24 +99,28 @@ class RecoveryManager:
         start = self._elapsed()
 
         # Phase 1: restore the flash-cache metadata directory.
-        timings = dbms.cache.recover()
+        with OBS.span("recovery.metadata", clock=self._elapsed):
+            timings = dbms.cache.recover()
         report.metadata_restore_time = timings.metadata_restore_time
         report.cache_survived = timings.cache_survives
         report.phase_times["metadata"] = self._elapsed() - start
 
         # Phase 2: analysis.
         mark = self._elapsed()
-        records = dbms.log.durable_records()
-        checkpoint, redo_start_index = self._find_checkpoint(records)
-        winners, resolved, losers = self._classify(records, checkpoint)
-        replay = records[redo_start_index:]
-        dbms.log.charge_recovery_scan(replay)
+        with OBS.span("recovery.analysis", clock=self._elapsed):
+            records = dbms.log.durable_records()
+            checkpoint, redo_start_index = self._find_checkpoint(records)
+            winners, resolved, losers = self._classify(records, checkpoint)
+            replay = records[redo_start_index:]
+            dbms.log.charge_recovery_scan(replay)
         report.log_records_scanned = len(replay)
         report.losers = len(losers)
         report.phase_times["analysis"] = self._elapsed() - mark
 
         # Phase 3: redo.
         mark = self._elapsed()
+        redo_span = OBS.span("recovery.redo", clock=self._elapsed)
+        redo_span.__enter__()
         cache_stats = dbms.cache.stats
         hits_before, lookups_before = cache_stats.hits, cache_stats.lookups
         for record in replay:
@@ -142,33 +147,39 @@ class RecoveryManager:
             frame.dirty = True
             frame.fdirty = True
             report.redo_applied += 1
+        redo_span.__exit__(None, None, None)
         report.pages_from_flash = cache_stats.hits - hits_before
         report.pages_from_disk = (cache_stats.lookups - lookups_before) - (
             cache_stats.hits - hits_before
         )
+        if OBS.enabled:
+            OBS.counter("recovery.redo.from_flash").inc(report.pages_from_flash)
+            OBS.counter("recovery.redo.from_disk").inc(report.pages_from_disk)
         report.phase_times["redo"] = self._elapsed() - mark
 
         # Phase 4: undo losers via compensating updates.
         mark = self._elapsed()
-        if losers:
-            loser_updates = [
-                r
-                for r in records
-                if isinstance(r, UpdateRecord) and r.txid in losers
-            ]
-            recovery_tx = dbms.begin()
-            for record in reversed(loser_updates):
-                dbms.update_slot_tx(
-                    recovery_tx, record.page_id, record.slot, record.before
-                )
-                report.undo_applied += 1
-            dbms.commit(recovery_tx)
-            dbms.committed -= 1  # bookkeeping tx, not workload throughput
+        with OBS.span("recovery.undo", clock=self._elapsed):
+            if losers:
+                loser_updates = [
+                    r
+                    for r in records
+                    if isinstance(r, UpdateRecord) and r.txid in losers
+                ]
+                recovery_tx = dbms.begin()
+                for record in reversed(loser_updates):
+                    dbms.update_slot_tx(
+                        recovery_tx, record.page_id, record.slot, record.before
+                    )
+                    report.undo_applied += 1
+                dbms.commit(recovery_tx)
+                dbms.committed -= 1  # bookkeeping tx, not workload throughput
         report.phase_times["undo"] = self._elapsed() - mark
 
         # Phase 5: end-of-recovery checkpoint.
         mark = self._elapsed()
-        report.end_checkpoint_pages = dbms.checkpoint()
+        with OBS.span("recovery.checkpoint", clock=self._elapsed):
+            report.end_checkpoint_pages = dbms.checkpoint()
         report.phase_times["checkpoint"] = self._elapsed() - mark
 
         report.total_time = self._elapsed() - start

@@ -1,4 +1,14 @@
-"""Simulation measurement layer: runs, crash schedules, traces, series."""
+"""Simulation measurement layer: runs, crash schedules, traces, series.
+
+The experiment-orchestration layer above the DBMS:
+:class:`~repro.sim.runner.ExperimentRunner` (warm-up / measure discipline
+of Section 5.2), :class:`~repro.sim.sweep.Sweep` grids and the parallel
+execution engine (:mod:`~repro.sim.parallel`), crash scheduling for the
+Section 5.5 protocol (:mod:`~repro.sim.crashes`), windowed throughput
+series for Figure 6 (:mod:`~repro.sim.metrics`), and I/O tracing
+(:mod:`~repro.sim.trace`).  Everything is deterministic under a seed, and
+sweep cells carry optional observability snapshots (``collect_obs``).
+"""
 
 from repro.sim.crashes import CrashRun, crash_mid_interval, run_until_mid_interval
 from repro.sim.metrics import ThroughputSample, ThroughputSeries

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.obs import OBS
 from repro.recovery.restart import RecoveryManager, RestartReport
 from repro.sim.runner import ExperimentRunner
 
@@ -70,8 +71,22 @@ def crash_mid_interval(
         runner, checkpoint_interval, min_checkpoints, max_transactions
     )
     wall = runner.dbms.wall_clock()
+    OBS.trace(
+        "sim.crash",
+        sim_time=wall,
+        transactions=executed,
+        checkpoints=checkpoints,
+        policy=runner.dbms.cache.name,
+    )
     runner.dbms.crash()
     report = RecoveryManager(runner.dbms).restart()
+    OBS.trace(
+        "sim.recovered",
+        sim_time=wall + report.total_time,
+        restart_seconds=report.total_time,
+        redo_applied=report.redo_applied,
+        flash_read_fraction=report.flash_read_fraction,
+    )
     return CrashRun(
         transactions_before_crash=executed,
         checkpoints_before_crash=checkpoints,

@@ -38,6 +38,7 @@ from typing import Callable, Sequence, TextIO
 
 from repro.core.config import SystemConfig
 from repro.errors import ConfigError
+from repro.obs import OBS
 from repro.sim.runner import ExperimentRunner, RunResult
 from repro.tpcc.scale import ScaleProfile
 
@@ -59,6 +60,10 @@ class CellSpec:
     warmup_min: int = 500
     warmup_max: int = 15_000
     checkpoint_interval: float | None = None
+    #: Collect a per-cell observability snapshot of the measured region
+    #: into ``RunResult.obs``.  The snapshot holds only simulated
+    #: quantities, so parallel and serial runs stay bit-identical.
+    collect_obs: bool = False
 
 
 @dataclass(frozen=True)
@@ -86,12 +91,28 @@ def derive_cell_seed(seed: int, key: tuple) -> int:
 
 
 def run_cell(spec: CellSpec) -> RunResult:
-    """Execute one cell start-to-finish (module-level: the worker target)."""
+    """Execute one cell start-to-finish (module-level: the worker target).
+
+    With ``collect_obs`` the global registry is cleared before the cell and
+    snapshotted after it, so every snapshot names exactly the metrics this
+    cell touched — identical whether the cell ran in-process or in a pool
+    worker (fresh registry either way).  The prior enabled state is
+    restored afterwards so mixed sweeps behave.
+    """
+    obs_was_enabled = OBS.enabled
+    if spec.collect_obs:
+        OBS.clear()
+        OBS.enable()
     runner = ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
     runner.warm_up(spec.warmup_min, spec.warmup_max)
-    return runner.measure(
+    result = runner.measure(
         spec.measure_transactions, checkpoint_interval=spec.checkpoint_interval
     )
+    if spec.collect_obs:
+        result.obs = OBS.snapshot()
+        if not obs_was_enabled:
+            OBS.disable()
+    return result
 
 
 def resolve_jobs(jobs: int | None) -> int:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
 from repro.core.dbms import SimulatedDBMS
+from repro.obs import OBS, RegistrySnapshot
 from repro.sim.metrics import ThroughputSeries
 from repro.tpcc.driver import TpccDriver
 from repro.tpcc.loader import TpccDatabase, load_tpcc
@@ -38,6 +39,9 @@ class RunResult:
     #: Transactions spent populating the cache before the measured region
     #: (carried on the result so parallel workers can report it).
     warmup_transactions: int = 0
+    #: Observability snapshot of the measured region (only populated when
+    #: the cell ran with ``collect_obs`` — see :mod:`repro.sim.parallel`).
+    obs: RegistrySnapshot | None = None
 
     @property
     def flash_utilization(self) -> float:
@@ -74,6 +78,11 @@ class ExperimentRunner:
             executed += 1
         self.dbms.reset_measurements()
         self.driver.stats.reset()
+        if OBS.enabled:
+            # Observability mirrors the measured region: zero the metric
+            # values (handles stay valid) at the same boundary as the
+            # device/cache counters.
+            OBS.reset()
         self._last_checkpoint_wall = 0.0
         self.warmup_transactions = executed
         return executed

@@ -33,6 +33,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.config import SystemConfig
 from repro.errors import ConfigError
+from repro.obs import RegistrySnapshot, merge_snapshots
 from repro.sim.parallel import (
     CellProgress,
     CellSpec,
@@ -77,6 +78,18 @@ class SweepResults:
         """Convenience: one metric of one cell (attribute of RunResult)."""
         return getattr(self.get(*key), metric)
 
+    def merged_obs(self) -> RegistrySnapshot | None:
+        """Grid-wide observability totals, merged **in grid order**.
+
+        Sums per-cell counters/histograms and keeps the last written value
+        of each gauge; ``None`` when no cell collected a snapshot (the
+        sweep ran without ``collect_obs``).
+        """
+        snaps = [r.obs for r in self.cells.values() if r.obs is not None]
+        if not snaps:
+            return None
+        return merge_snapshots(snaps)
+
 
 class Sweep:
     """Runs a full factorial grid of steady-state measurements.
@@ -107,6 +120,7 @@ class Sweep:
         warmup_max: int = 15_000,
         seed: int = 42,
         jobs: int | None = 1,
+        collect_obs: bool = False,
     ) -> None:
         if not dimensions:
             raise ConfigError("a sweep needs at least one dimension")
@@ -120,6 +134,7 @@ class Sweep:
         self.warmup_max = warmup_max
         self.seed = seed
         self.jobs = jobs
+        self.collect_obs = collect_obs
         self._explicit_cells: list[CellSpec] | None = None
 
     @classmethod
@@ -151,6 +166,7 @@ class Sweep:
         sweep.warmup_max = cells[0].warmup_max
         sweep.seed = cells[0].seed
         sweep.jobs = jobs
+        sweep.collect_obs = any(spec.collect_obs for spec in cells)
         sweep._explicit_cells = list(cells)
         return sweep
 
@@ -183,6 +199,7 @@ class Sweep:
                     measure_transactions=self.measure_transactions,
                     warmup_min=self.warmup_min,
                     warmup_max=self.warmup_max,
+                    collect_obs=self.collect_obs,
                 )
             )
         return specs

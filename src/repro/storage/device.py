@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import OutOfRangeError
+from repro.obs import OBS, sanitize
 from repro.storage.profiles import DeviceProfile
 
 
@@ -91,6 +92,9 @@ class Device:
         experiments typically pass the (much smaller) simulated size.
     """
 
+    #: Metric-namespace component; subclasses override ("ssd", "hdd", ...).
+    _OBS_KIND = "device"
+
     def __init__(self, profile: DeviceProfile, capacity_pages: int | None = None) -> None:
         self.profile = profile
         self.capacity_pages = (
@@ -112,6 +116,31 @@ class Device:
         #: operation) reflect.  Subclasses with internal parallelism
         #: (RAID, SSD) override the timing hooks accordingly.
         self.serial_mode = False
+        self._obs_handles: dict | None = None
+
+    # -- observability -------------------------------------------------------
+
+    def _obs_make_handles(self) -> dict:
+        """Cache per-device metric handles (first observed op only)."""
+        prefix = f"storage.{self._OBS_KIND}.{sanitize(self.profile.name)}"
+        handles: dict = {
+            "read": OBS.histogram(f"{prefix}.read.seconds"),
+            "write": OBS.histogram(f"{prefix}.write.seconds"),
+        }
+        for kind in IOKind:
+            handles[kind] = OBS.counter(f"{prefix}.ops.{kind.value}")
+            handles[kind, "pages"] = OBS.counter(f"{prefix}.pages.{kind.value}")
+        self._obs_handles = handles
+        return handles
+
+    def _obs_record(self, op: str, kind: IOKind, npages: int, service: float) -> None:
+        """Record one I/O into the registry (called only while enabled)."""
+        handles = self._obs_handles
+        if handles is None:
+            handles = self._obs_make_handles()
+        handles[op].observe(service)
+        handles[kind].inc()
+        handles[kind, "pages"].inc(npages)
 
     # -- timing hooks subclasses override ---------------------------------
 
@@ -138,6 +167,8 @@ class Device:
         service = self._read_time(npages, sequential)
         kind = IOKind.SEQ_READ if (sequential or npages > 1) else IOKind.RANDOM_READ
         self.stats.record(kind, npages, service)
+        if OBS.enabled:
+            self._obs_record("read", kind, npages, service)
         return service
 
     def write(self, lba: int, npages: int = 1) -> float:
@@ -151,6 +182,8 @@ class Device:
         service = self._write_time(npages, sequential)
         kind = IOKind.SEQ_WRITE if (sequential or npages > 1) else IOKind.RANDOM_WRITE
         self.stats.record(kind, npages, service)
+        if OBS.enabled:
+            self._obs_record("write", kind, npages, service)
         return service
 
     # -- helpers -------------------------------------------------------------

@@ -16,6 +16,8 @@ from repro.storage.profiles import HDD_CHEETAH_15K, DeviceProfile
 class DiskDevice(Device):
     """One spinning disk with Table 1 (single-disk) characteristics."""
 
+    _OBS_KIND = "hdd"
+
     def __init__(
         self, profile: DeviceProfile = HDD_CHEETAH_15K, capacity_pages: int | None = None
     ) -> None:

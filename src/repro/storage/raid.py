@@ -75,6 +75,8 @@ class Raid0Array(Device):
     behaves as one resource with N-fold (efficiency-discounted) throughput.
     """
 
+    _OBS_KIND = "raid0"
+
     def __init__(
         self,
         n_disks: int,
@@ -84,6 +86,7 @@ class Raid0Array(Device):
         super().__init__(make_raid0_profile(n_disks, base), capacity_pages)
         self.n_disks = n_disks
         self.base_profile = base
+        self._obs_qd1_reads = None
 
     # A RAID-0 array multiplies *throughput*, not per-request latency: a
     # single serial requester (crash recovery) waits one member disk's
@@ -98,5 +101,17 @@ class Raid0Array(Device):
 
     def _read_time(self, npages: int, sequential: bool) -> float:
         if self.serial_mode and not sequential and npages == 1:
+            from repro.obs import OBS, sanitize
+
+            if OBS.enabled:
+                # Counts the recovery-path reads that pay member-disk QD1
+                # latency instead of array throughput — the Table 6 term.
+                counter = self._obs_qd1_reads
+                if counter is None:
+                    counter = OBS.counter(
+                        f"storage.raid0.{sanitize(self.profile.name)}.qd1_reads"
+                    )
+                    self._obs_qd1_reads = counter
+                counter.inc()
             return self.base_profile.random_read_time * self.SERIAL_READ_LATENCY_FACTOR
         return super()._read_time(npages, sequential)

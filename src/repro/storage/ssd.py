@@ -65,6 +65,8 @@ SERIAL_LATENCY_MULTIPLIER = 4.0
 class FlashDevice(Device):
     """An SSD with spread-dependent writes and interference-dependent reads."""
 
+    _OBS_KIND = "ssd"
+
     def __init__(self, profile: DeviceProfile, capacity_pages: int | None = None) -> None:
         super().__init__(profile, capacity_pages)
         self._nblocks = max(1, self.capacity_pages // PAGES_PER_BLOCK)
@@ -73,6 +75,24 @@ class FlashDevice(Device):
         # Recent op kinds: True entries are random writes.
         self._recent_ops: deque[bool] = deque(maxlen=INTERFERENCE_WINDOW)
         self._recent_random_write_ops = 0
+        self._obs_ssd_gauges: tuple | None = None
+
+    def _obs_record(self, op, kind, npages, service) -> None:
+        super()._obs_record(op, kind, npages, service)
+        # FTL-state gauges: the two signals that explain why identical page
+        # counts cost FaCE (append-only) and LC (in-place) different times.
+        gauges = self._obs_ssd_gauges
+        if gauges is None:
+            from repro.obs import OBS, sanitize
+
+            prefix = f"storage.ssd.{sanitize(self.profile.name)}"
+            gauges = (
+                OBS.gauge(f"{prefix}.write_spread"),
+                OBS.gauge(f"{prefix}.read_interference"),
+            )
+            self._obs_ssd_gauges = gauges
+        gauges[0].set(self.write_spread)
+        gauges[1].set(self.read_interference)
 
     # -- spread model (random writes) ---------------------------------------
 

@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Iterator
 
 from repro.errors import WALError
+from repro.obs import OBS
 from repro.storage.device import Device
 from repro.storage.profiles import PAGE_SIZE
 from repro.wal.records import (
@@ -121,11 +122,19 @@ class LogManager:
         record = self._append(CheckpointRecord(self._take_lsn(), active_txids))
         self.force()
         self.last_checkpoint_lsn = record.lsn
+        if OBS.enabled:
+            OBS.counter("wal.checkpoints").inc()
         if previous_checkpoint is not None:
             horizon = previous_checkpoint
             if oldest_needed_lsn is not None:
                 horizon = min(horizon, oldest_needed_lsn)
+            before = len(self._durable)
             self._durable = [r for r in self._durable if r.lsn >= horizon]
+            if OBS.enabled:
+                truncated = before - len(self._durable)
+                if truncated:
+                    OBS.counter("wal.truncations").inc()
+                    OBS.counter("wal.truncated_records").inc(truncated)
         return record
 
     def commit(self, txid: int) -> CommitRecord:
@@ -141,6 +150,10 @@ class LogManager:
         if not self._tail:
             return
         npages = max(1, -(-self._tail_bytes // PAGE_SIZE))
+        if OBS.enabled:
+            OBS.counter("wal.force.count").inc()
+            OBS.counter("wal.force.bytes").inc(self._tail_bytes)
+            OBS.counter("wal.force.pages").inc(npages)
         if self._head_lba + npages > self.device.capacity_pages:
             self._head_lba = 0  # circular log; old segments recycled
         self.device.write(self._head_lba, npages)

@@ -1,4 +1,11 @@
-"""Synthetic workloads beyond TPC-C (skew / read-write-mix studies)."""
+"""Synthetic workloads beyond TPC-C (skew / read-write-mix studies).
+
+A small key-value workload generator (:mod:`~repro.workload.synthetic`)
+with Zipfian key skew and a tunable read/write mix, driving the same DBMS
+data path as TPC-C.  Used for sensitivity studies the paper motivates but
+does not tabulate — how FaCE's hit ratio and write reduction respond as
+locality and write intensity move away from TPC-C's defaults.
+"""
 
 from repro.workload.synthetic import KV_SCHEMA, SyntheticKVWorkload, ZipfGenerator
 
