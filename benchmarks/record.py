@@ -18,6 +18,13 @@ exits non-zero with ``--strict``).  Intended uses:
 * diagnosing a regressed cell: ``python benchmarks/record.py --obs`` adds a
   per-cell observability extract (cache/buffer/WAL counters) to the record,
   so the *why* behind a wall-seconds or tpmC shift is in the JSON, not lost
+* ``--fast`` additionally times the trace-replay fast path against the full
+  serial pass: one cold grid pass (includes recording the boundary trace)
+  and one warm per-cell pass, with a parity flag asserting the fast results
+  are bit-identical to full execution
+
+Any cell whose wall time regresses more than ``CELL_REGRESSION_FACTOR``
+(2x) against the previous record also warns — that is the CI gate.
 
 The script is standalone — it does not import pytest or the benchmarks
 conftest — so it can run anywhere the package can.
@@ -46,6 +53,10 @@ RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
 HISTORY_LIMIT = 20
 #: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
 REGRESSION_TOLERANCE = 0.30
+#: Warn when any single cell's wall time grows past previous * factor.
+#: Deliberately loose: per-cell times on shared CI runners are noisy, and
+#: the gate exists to catch order-of-magnitude engine regressions.
+CELL_REGRESSION_FACTOR = 2.0
 
 POLICIES = (CachePolicy.LC, CachePolicy.FACE, CachePolicy.FACE_GR,
             CachePolicy.FACE_GSC)
@@ -119,7 +130,52 @@ def cell_rows(cells: dict, wall_by_key: dict) -> list[dict]:
     return rows
 
 
-def run_record(jobs: int, smoke: bool, collect_obs: bool = False) -> dict:
+def _strip_obs(cells: dict) -> dict:
+    """Results without snapshots, for fast-vs-full parity: the ``replay.*``
+    namespace describes the replay machinery and has no full-run twin."""
+    import dataclasses
+
+    return {key: dataclasses.replace(r, obs=None) for key, r in cells.items()}
+
+
+def fast_passes(specs: list[CellSpec], serial_cells: dict, serial_wall: float) -> dict:
+    """Time the trace-replay fast path: cold grid pass, then warm per-cell."""
+    cold_start = time.perf_counter()
+    cold_cells = run_cells(specs, jobs=1, fast=True)
+    cold_wall = time.perf_counter() - cold_start
+
+    warm_by_key: dict = {}
+    warm_cells: dict = {}
+    warm_start = time.perf_counter()
+    for spec in specs:
+        t0 = time.perf_counter()
+        warm_cells.update(run_cells([spec], jobs=1, fast=True))
+        warm_by_key[spec.key] = time.perf_counter() - t0
+    warm_wall = time.perf_counter() - warm_start
+
+    parity = (
+        _strip_obs(cold_cells) == _strip_obs(serial_cells)
+        and _strip_obs(warm_cells) == _strip_obs(serial_cells)
+    )
+    return {
+        "cold_wall_seconds": round(cold_wall, 3),
+        "warm_wall_seconds": round(warm_wall, 3),
+        "warm_wall_seconds_per_cell": round(warm_wall / len(specs), 4),
+        "speedup_cold_vs_serial": round(serial_wall / cold_wall, 3)
+        if cold_wall > 0 else None,
+        "speedup_warm_vs_serial": round(serial_wall / warm_wall, 3)
+        if warm_wall > 0 else None,
+        "parity": parity,
+        "cells": [
+            {"key": list(key), "wall_seconds": round(wall, 4)}
+            for key, wall in warm_by_key.items()
+        ],
+    }
+
+
+def run_record(
+    jobs: int, smoke: bool, collect_obs: bool = False, fast: bool = False
+) -> dict:
     specs = sweep_specs(smoke, collect_obs=collect_obs)
 
     # Serial pass, timing each cell individually for the per-cell record.
@@ -141,6 +197,9 @@ def run_record(jobs: int, smoke: bool, collect_obs: bool = False) -> dict:
             "wall_seconds_per_cell": round(serial_wall / len(specs), 4),
         },
     }
+
+    if fast:
+        record["fast"] = fast_passes(specs, serial_cells, serial_wall)
 
     if jobs > 1:
         parallel_wall, parallel_cells = timed_pass(specs, jobs)
@@ -169,8 +228,21 @@ def compare_with_previous(record: dict, previous: dict | None) -> list[str]:
             f"serial wall-seconds/cell regressed: {prev_rate:.3f}s -> "
             f"{new_rate:.3f}s (> {REGRESSION_TOLERANCE:.0%} tolerance)"
         )
+    prev_cells = {
+        tuple(row["key"]): row.get("wall_seconds")
+        for row in previous.get("cells", [])
+    }
+    for row in record["cells"]:
+        prev_wall = prev_cells.get(tuple(row["key"]))
+        if prev_wall and row["wall_seconds"] > prev_wall * CELL_REGRESSION_FACTOR:
+            warnings.append(
+                f"cell {row['key']} wall time regressed: {prev_wall:.3f}s -> "
+                f"{row['wall_seconds']:.3f}s (> {CELL_REGRESSION_FACTOR:.0f}x)"
+            )
     if not record.get("deterministic", True):
         warnings.append("parallel results are NOT bit-identical to serial")
+    if "fast" in record and not record["fast"]["parity"]:
+        warnings.append("fast-path results are NOT bit-identical to full execution")
     return warnings
 
 
@@ -185,6 +257,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--obs", action="store_true",
                         help="collect per-cell observability snapshots and "
                              "record a counter extract per cell")
+    parser.add_argument("--fast", action="store_true",
+                        help="also time the trace-replay fast path (cold + "
+                             "warm) against the full serial pass and check "
+                             "bit-identical parity")
     parser.add_argument("--output", type=Path, default=RECORD_PATH)
     args = parser.parse_args(argv)
 
@@ -193,7 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         existing = json.loads(args.output.read_text())
     previous = existing.get("latest")
 
-    record = run_record(args.jobs, args.smoke, collect_obs=args.obs)
+    record = run_record(args.jobs, args.smoke, collect_obs=args.obs, fast=args.fast)
     warnings = compare_with_previous(record, previous)
 
     history = existing.get("history", [])
@@ -207,6 +283,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  cells: {len(record['cells'])}  mode: {record['mode']}")
     print(f"  serial: {record['serial']['wall_seconds']}s "
           f"({record['serial']['wall_seconds_per_cell']}s/cell)")
+    if "fast" in record:
+        f = record["fast"]
+        print(f"  fast cold: {f['cold_wall_seconds']}s "
+              f"(speedup {f['speedup_cold_vs_serial']}x)  "
+              f"warm: {f['warm_wall_seconds']}s "
+              f"(speedup {f['speedup_warm_vs_serial']}x)  "
+              f"parity: {f['parity']}")
     if "parallel" in record:
         p = record["parallel"]
         print(f"  parallel (jobs={p['jobs']}): {p['wall_seconds']}s "

@@ -64,8 +64,18 @@ class LruPolicy(ReplacementPolicy):
         self._frames.pop(page_id, None)
 
     def victims(self, count: int) -> list[Frame]:
-        out = [f for f in self._frames.values() if not f.pinned][:count]
-        if count >= 1 and not out:
+        # Stop as soon as enough victims are found: the common call is
+        # victims(1) from an eviction, which would otherwise scan (and
+        # check the pin of) every resident frame per DRAM miss.
+        out: list[Frame] = []
+        if count < 1:
+            return out
+        for frame in self._frames.values():
+            if not frame.pin_count:
+                out.append(frame)
+                if len(out) == count:
+                    break
+        if not out:
             raise BufferFullError("all frames pinned; cannot evict")
         return out
 

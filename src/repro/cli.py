@@ -74,7 +74,7 @@ def cmd_run(args) -> int:
         print(f"# {result.name}: warm-up {result.warmup_transactions} tx, "
               f"measured {args.transactions} tx", file=sys.stderr)
 
-    cells = run_cells(specs, jobs=args.jobs, on_cell=report)
+    cells = run_cells(specs, jobs=args.jobs, on_cell=report, fast=args.fast)
     print(run_result_table(list(cells.values()), title="Steady-state TPC-C"))
     return 0
 
@@ -136,9 +136,22 @@ def cmd_stats(args) -> int:
 
     policy = _POLICY_NAMES[args.policy]
     OBS.enable()
-    runner = _build_runner(args, policy)
+    if args.fast:
+        from repro.sim.replay import ReplayRunner, get_recorder, save_recorded_traces
+
+        scale = _scale(args.scale)
+        config = scaled_reference_config(
+            estimate_db_pages(scale),
+            cache_fraction=args.cache_fraction,
+            policy=policy,
+        )
+        runner = ReplayRunner(config, get_recorder(scale, args.seed))
+    else:
+        runner = _build_runner(args, policy)
     runner.warm_up(max_transactions=50_000)  # warm_up resets OBS at the boundary
     result = runner.measure(args.transactions)
+    if args.fast:
+        save_recorded_traces()
     snap = OBS.snapshot()
 
     if args.json:
@@ -169,6 +182,16 @@ def cmd_stats(args) -> int:
         width=28,
     ))
     flat = snap.as_flat()
+    replay_rows = [
+        (name, f"{flat[name]:g}") for name in sorted(flat) if name.startswith("replay.")
+    ]
+    if replay_rows:
+        print(format_table(
+            "Trace-replay fast path",
+            ["metric", "value"],
+            replay_rows,
+            width=44,
+        ))
     print(format_table(
         "All metrics (measured region)",
         ["metric", "value"],
@@ -191,8 +214,11 @@ def cmd_sweep(args) -> int:
         measure_transactions=args.transactions,
         warmup_max=50_000,
         seed=args.seed,
+        shared_seed=args.fast,
     )
-    results = sweep.run(jobs=args.jobs, progress=progress_printer(sys.stderr))
+    results = sweep.run(
+        jobs=args.jobs, progress=progress_printer(sys.stderr), fast=args.fast
+    )
     points = [
         (fraction * 100, results.get(fraction).tpmc) for fraction in args.fractions
     ]
@@ -225,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="steady-state TPC-C measurement")
     run.add_argument("policies", nargs="+", choices=sorted(_POLICY_NAMES))
     run.add_argument("--transactions", type=int, default=2000)
+    run.add_argument("--fast", action="store_true",
+                     help="serve cells from the trace-replay fast path "
+                          "(bit-identical results; records the boundary "
+                          "trace once, then replays it per policy)")
     run.set_defaults(func=cmd_run)
 
     recover = sub.add_parser("recover", help="crash + restart comparison")
@@ -243,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--fractions", type=float, nargs="+", default=[0.04, 0.12, 0.20, 0.28]
     )
     sweep.add_argument("--transactions", type=int, default=2000)
+    sweep.add_argument("--fast", action="store_true",
+                       help="share one seed across cells and serve them "
+                            "from the trace-replay fast path")
     sweep.set_defaults(func=cmd_sweep)
 
     stats = sub.add_parser(
@@ -254,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the snapshot as JSON instead of tables")
     stats.add_argument("--csv", metavar="PATH",
                        help="also write metric,value rows to PATH")
+    stats.add_argument("--fast", action="store_true",
+                       help="measure via the trace-replay fast path and "
+                            "surface its replay.* metrics")
     stats.set_defaults(func=cmd_stats)
     return parser
 

@@ -176,6 +176,29 @@ class SimulatedDBMS:
         self._load_pages = None
         return count
 
+    def adopt_database_state(
+        self,
+        catalog: Catalog,
+        tables: dict[str, HeapFile],
+        indexes: dict[str, HashIndex],
+        disk_slots: dict[int, Any],
+    ) -> None:
+        """Install a pre-built database (schema + loaded pages) wholesale.
+
+        The warm-state fork path (:mod:`repro.sim.warmstate`) loads TPC-C
+        once per (scale, seed) and hands every subsequent system a private
+        copy of the catalog/heap/index graph plus the loaded disk image —
+        equivalent to :meth:`begin_load` … :meth:`finish_load` without
+        re-running the population logic.  Must be called on a freshly built
+        system, before any transaction has run.
+        """
+        if self.committed or self.aborted or self._active or self._load_pages is not None:
+            raise CatalogError("adopt_database_state on a system already in use")
+        self.catalog = catalog
+        self.tables = tables
+        self.indexes = indexes
+        self.disk.store.adopt_slots(disk_slots)
+
     @property
     def db_pages(self) -> int:
         """Database footprint in pages (tables + indexes, as allocated)."""
@@ -194,6 +217,9 @@ class SimulatedDBMS:
         frame = self.buffer.lookup(page_id)
         if frame is not None:
             return frame
+        return self._fetch_miss(page_id)
+
+    def _fetch_miss(self, page_id: int) -> Frame:
         # DRAM miss: search the flash cache, then disk (Figure 1, steps 3-4).
         flash_hit = self.cache.lookup_fetch(page_id)
         if OBS.enabled:

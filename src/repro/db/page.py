@@ -115,6 +115,18 @@ class Page:
         self._slots.pop(slot, None)
         self.lsn = lsn
 
+    def stamp(self, lsn: int) -> None:
+        """Advance ``pageLSN`` without changing slot contents.
+
+        Used by trace replay, which applies the *timing and header* effect
+        of a logged update (the replayed system never reads row contents).
+        Invalidates the cached image exactly like :meth:`put`, so snapshot
+        identity behaves as in a full run; the slot mapping itself is
+        untouched and may stay shared with prior images.
+        """
+        self.lsn = lsn
+        self._image = None
+
     # -- snapshots ----------------------------------------------------------
 
     def to_image(self) -> PageImage:

@@ -122,11 +122,17 @@ class LazyCleaningCache(FlashCacheBase):
         return self._dirty_count / self.capacity
 
     def _run_cleaner(self) -> None:
-        """Flush coldest dirty pages until below the dirty threshold."""
+        """Flush coldest dirty pages until below the dirty threshold.
+
+        Iterates the LRU-2 ranking lazily (:meth:`Lru2Policy.iter_coldest`)
+        so each cleaning pass costs O(k log n) for the k pages it actually
+        flushes — the cleaner used to full-sort the history every pass,
+        which dominated LC cell wall time in the benchmarks.
+        """
         if self.dirty_fraction <= self.dirty_threshold:
             return
         target = int(self.dirty_threshold * self.capacity)
-        for page_id in self._policy.keys_coldest_first():
+        for page_id in self._policy.iter_coldest():
             if self._dirty_count <= target:
                 break
             if self._dirty.get(page_id):

@@ -13,7 +13,7 @@ priority; stale heap entries are skipped at pop time.
 from __future__ import annotations
 
 import heapq
-from typing import Hashable
+from typing import Hashable, Iterator
 
 from repro.errors import CacheError
 
@@ -43,6 +43,12 @@ class Lru2Policy:
         entry = (penultimate, self._clock)
         self._history[key] = entry
         heapq.heappush(self._heap, (entry[0], entry[1], key))
+        # Lazy deletion lets stale entries pile up between victims; rebuild
+        # from the (always-current) history once they dominate, so heap
+        # memory and per-pop cost stay proportional to the tracked keys.
+        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._history):
+            self._heap = [(p, last, k) for k, (p, last) in self._history.items()]
+            heapq.heapify(self._heap)
 
     def remove(self, key: Hashable) -> None:
         """Forget ``key`` (stale heap entries are skipped lazily)."""
@@ -58,6 +64,33 @@ class Lru2Policy:
                 return key
         raise CacheError("victim() called with no tracked keys")
 
+    def iter_coldest(self) -> Iterator[Hashable]:
+        """Yield tracked keys coldest → hottest, incrementally.
+
+        Consuming ``k`` keys costs O((k + s) log n) — ``s`` being stale
+        lazy-deletion entries, which are dropped for good as a side effect —
+        instead of the O(n log n) full sort :meth:`keys_coldest_first` pays
+        up front.  This is what lets the LC cleaner stop after flushing a
+        handful of cold pages without ranking the whole cache.
+
+        Valid entries popped during iteration are re-pushed when the
+        iterator is closed or exhausted, so policy state is unchanged.  The
+        caller must not call :meth:`touch`, :meth:`remove` or
+        :meth:`victim` while iterating.
+        """
+        heap = self._heap
+        history = self._history
+        popped: list[tuple[int, int, Hashable]] = []
+        try:
+            while heap:
+                entry = heapq.heappop(heap)
+                if history.get(entry[2]) == (entry[0], entry[1]):
+                    popped.append(entry)
+                    yield entry[2]
+        finally:
+            for entry in popped:
+                heapq.heappush(heap, entry)
+
     def keys_coldest_first(self) -> list[Hashable]:
         """All tracked keys ordered coldest → hottest (for cleaners)."""
-        return sorted(self._history, key=lambda k: self._history[k])
+        return list(self.iter_coldest())

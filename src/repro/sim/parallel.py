@@ -21,6 +21,11 @@ embarrassingly parallel.  This module fans such cells out over a
   semaphores) or dies mid-run, the remaining cells fall back to in-process
   serial execution with a :class:`RuntimeWarning` — the sweep always
   completes with identical results.
+* ``run_cells(..., fast=True)`` routes eligible cells through the
+  trace-replay fast path (:mod:`repro.sim.replay`): the boundary event
+  stream is recorded once per ``(scale, seed)`` and replayed per cell,
+  bit-identically; ineligible cells full-execute from warm-state forks
+  (:mod:`repro.sim.warmstate`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,13 @@ class CellSpec:
     #: into ``RunResult.obs``.  The snapshot holds only simulated
     #: quantities, so parallel and serial runs stay bit-identical.
     collect_obs: bool = False
+    #: Permit the trace-replay fast path (:mod:`repro.sim.replay`) to serve
+    #: this cell when ``run_cells(..., fast=True)``.  The boundary trace is
+    #: recorded *above* the buffer pool, so replays are bit-identical for
+    #: every config — set this ``False`` only to force a cell through full
+    #: execution (e.g. when the cell is itself a recording donor you want
+    #: to cross-check, or a protocol outside steady-state measurement).
+    replay_ok: bool = True
 
 
 @dataclass(frozen=True)
@@ -90,8 +102,10 @@ def derive_cell_seed(seed: int, key: tuple) -> int:
     return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF
 
 
-def run_cell(spec: CellSpec) -> RunResult:
-    """Execute one cell start-to-finish (module-level: the worker target).
+def _execute_cell(
+    spec: CellSpec, make_runner: Callable[[], ExperimentRunner]
+) -> RunResult:
+    """Shared cell protocol: obs bracket, warm-up, measure, snapshot.
 
     With ``collect_obs`` the global registry is cleared before the cell and
     snapshotted after it, so every snapshot names exactly the metrics this
@@ -103,7 +117,7 @@ def run_cell(spec: CellSpec) -> RunResult:
     if spec.collect_obs:
         OBS.clear()
         OBS.enable()
-    runner = ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
+    runner = make_runner()
     runner.warm_up(spec.warmup_min, spec.warmup_max)
     result = runner.measure(
         spec.measure_transactions, checkpoint_interval=spec.checkpoint_interval
@@ -113,6 +127,35 @@ def run_cell(spec: CellSpec) -> RunResult:
         if not obs_was_enabled:
             OBS.disable()
     return result
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Execute one cell start-to-finish (module-level: the worker target)."""
+    return _execute_cell(
+        spec, lambda: ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
+    )
+
+
+def run_cell_warm(spec: CellSpec) -> RunResult:
+    """Like :func:`run_cell`, but load the database from a warm-state fork.
+
+    The per-process snapshot memo in :mod:`repro.sim.warmstate` means a
+    worker pays the TPC-C load once per ``(scale, seed)`` and every later
+    cell it executes forks the loaded state — bit-identical to a fresh
+    load, minus the load time.  This is the worker the fast path uses for
+    cells that cannot take the replay route.
+    """
+    from repro.sim.warmstate import fork_database
+
+    return _execute_cell(
+        spec,
+        lambda: ExperimentRunner(
+            spec.config,
+            spec.scale,
+            seed=spec.seed,
+            loader=lambda dbms, scale: fork_database(dbms, scale, spec.seed),
+        ),
+    )
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -142,16 +185,39 @@ def run_cells(
     jobs: int | None = 1,
     on_cell: Callable[[tuple, RunResult], None] | None = None,
     progress: Callable[[CellProgress], None] | None = None,
+    fast: bool = False,
 ) -> dict[tuple, RunResult]:
     """Run every cell; return ``{key: result}`` in the order of ``specs``.
 
     ``jobs=1`` (the default) runs in-process; ``jobs>1`` uses a process
     pool; ``jobs in (None, 0)`` uses one worker per CPU.  Callbacks fire in
     spec order as results are gathered, in every mode.
+
+    ``fast=True`` serves cells through the trace-replay fast path
+    (:mod:`repro.sim.replay`): the boundary event stream for each
+    ``(scale, seed)`` is recorded once (or loaded from the persistent trace
+    cache) and every replay-eligible cell replays it against its own cache
+    policy and device stack — bit-identical results at a fraction of the
+    wall-clock.  Cells that opt out (``replay_ok=False``) or whose
+    recording would not amortise (a lone cell with no existing trace) fall
+    back to full execution from a warm-state fork.
     """
     keys = [spec.key for spec in specs]
     if len(set(keys)) != len(keys):
         raise ConfigError("sweep cells must have unique keys")
+    if fast:
+        return _run_cells_fast(specs, jobs, on_cell, progress)
+    return _run_cells(specs, jobs, on_cell, progress, run_cell)
+
+
+def _run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int | None,
+    on_cell: Callable[[tuple, RunResult], None] | None,
+    progress: Callable[[CellProgress], None] | None,
+    worker: Callable[[CellSpec], RunResult],
+) -> dict[tuple, RunResult]:
+    """Full-execution engine, parameterised by the module-level worker."""
     jobs = resolve_jobs(jobs)
     start = time.perf_counter()
     results: dict[tuple, RunResult] = {}
@@ -173,7 +239,7 @@ def run_cells(
 
     if jobs <= 1 or len(specs) <= 1:
         for spec in specs:
-            gather(spec, run_cell(spec))
+            gather(spec, worker(spec))
         return results
 
     ensure_picklable(specs)
@@ -186,12 +252,12 @@ def run_cells(
             stacklevel=2,
         )
         for spec in specs:
-            gather(spec, run_cell(spec))
+            gather(spec, worker(spec))
         return results
 
     with executor:
         try:
-            pending = [(spec, executor.submit(run_cell, spec)) for spec in specs]
+            pending = [(spec, executor.submit(worker, spec)) for spec in specs]
         except (OSError, BrokenProcessPool) as exc:
             warnings.warn(
                 f"process pool failed at submit ({exc}); running serially",
@@ -199,7 +265,7 @@ def run_cells(
                 stacklevel=2,
             )
             for spec in specs:
-                gather(spec, run_cell(spec))
+                gather(spec, worker(spec))
             return results
         for spec, future in pending:
             try:
@@ -215,10 +281,88 @@ def run_cells(
                 )
                 for tail_spec, tail_future in pending:
                     if tail_spec.key not in results:
-                        gather(tail_spec, run_cell(tail_spec))
+                        gather(tail_spec, worker(tail_spec))
                 break
             gather(spec, result)
     return results
+
+
+def _run_cells_fast(
+    specs: Sequence[CellSpec],
+    jobs: int | None,
+    on_cell: Callable[[tuple, RunResult], None] | None,
+    progress: Callable[[CellProgress], None] | None,
+) -> dict[tuple, RunResult]:
+    """Trace-replay engine: record once per ``(scale, seed)``, replay per cell.
+
+    Partitioning: a cell replays when it allows it (``replay_ok``) and the
+    one-off recording cost amortises — either another cell shares its
+    ``(scale, seed)`` stream, or a trace for it already exists (live
+    recorder in this process, or the persistent cache).  Everything else
+    full-executes through :func:`run_cell_warm` (warm-state forks), with
+    the usual process-pool path when ``jobs`` allows.
+
+    Replays run serially in the parent process: a replayed cell is so much
+    cheaper than a full execution that shipping traces to workers would
+    cost more than it saves.  Results and callbacks keep the original spec
+    order, exactly like the full-execution engine.
+    """
+    from repro.sim.replay import (
+        cached_trace_exists,
+        get_recorder,
+        has_recorder,
+        replay_cell,
+        save_recorded_traces,
+    )
+
+    start = time.perf_counter()
+    group_sizes: dict[tuple, int] = {}
+    for spec in specs:
+        if spec.replay_ok:
+            group = (spec.scale, spec.seed)
+            group_sizes[group] = group_sizes.get(group, 0) + 1
+
+    replayed: list[CellSpec] = []
+    executed: list[CellSpec] = []
+    for spec in specs:
+        group = (spec.scale, spec.seed)
+        if spec.replay_ok and (
+            group_sizes[group] >= 2
+            or has_recorder(spec.scale, spec.seed)
+            or cached_trace_exists(spec.scale, spec.seed)
+        ):
+            replayed.append(spec)
+        else:
+            executed.append(spec)
+
+    results: dict[tuple, RunResult] = {}
+    if executed:
+        results.update(_run_cells(executed, jobs, None, None, run_cell_warm))
+    for spec in replayed:
+        results[spec.key] = replay_cell(spec, get_recorder(spec.scale, spec.seed))
+    if executed and OBS.enabled:
+        # After the cells: each cell's warm-up resets counters at the
+        # measurement boundary, which would zero a count taken earlier.
+        OBS.counter("replay.fallbacks").inc(len(executed))
+    save_recorded_traces()
+
+    ordered: dict[tuple, RunResult] = {}
+    for index, spec in enumerate(specs):
+        result = results[spec.key]
+        ordered[spec.key] = result
+        if on_cell is not None:
+            on_cell(spec.key, result)
+        if progress is not None:
+            progress(
+                CellProgress(
+                    completed=index + 1,
+                    total=len(specs),
+                    key=spec.key,
+                    result=result,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+    return ordered
 
 
 def progress_printer(stream: TextIO | None = None) -> Callable[[CellProgress], None]:

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.core.config import SystemConfig
 from repro.core.dbms import SimulatedDBMS
 from repro.obs import OBS, RegistrySnapshot
 from repro.sim.metrics import ThroughputSeries
-from repro.tpcc.driver import TpccDriver
+from repro.tpcc.driver import TpccDriver, WorkloadStats
 from repro.tpcc.loader import TpccDatabase, load_tpcc
 from repro.tpcc.scale import ScaleProfile
 
@@ -48,17 +50,90 @@ class RunResult:
         return self.utilization.get("flash", 0.0)
 
 
+def cache_populated(dbms: SimulatedDBMS) -> bool:
+    """Has the flash cache reached its steady-state fill (Section 5.2)?"""
+    cache = dbms.cache
+    directory = getattr(cache, "directory", None)
+    if directory is not None:  # mvFIFO family
+        return directory.is_full
+    capacity = getattr(cache, "capacity", None)
+    cached = getattr(cache, "cached_pages", None)
+    if capacity is not None and cached is not None:  # LC/TAC/Exadata
+        return cached >= capacity * 0.95
+    return True  # no cache to populate
+
+
+def summarise_run(
+    config: SystemConfig,
+    dbms: SimulatedDBMS,
+    stats: WorkloadStats,
+    warmup_transactions: int,
+) -> RunResult:
+    """Snapshot the current measured region into a :class:`RunResult`.
+
+    Shared by :class:`ExperimentRunner` and the trace-replay fast path
+    (:mod:`repro.sim.replay`): both derive every metric from the same DBMS
+    counters and workload stats, so replayed results are field-for-field
+    comparable with full executions.
+    """
+    wall = dbms.wall_clock()
+    resources = dbms.resource_times()
+    utilization = {
+        name: (busy / wall if wall > 0 else 0.0) for name, busy in resources.items()
+    }
+    flash_pages = dbms.flash.device.stats.total_pages if dbms.flash is not None else 0
+    disk_pages = dbms.disk.device.stats.total_pages
+    cache_stats = dbms.cache.stats
+    tpmc = stats.neworder_commits * 60.0 / wall if wall > 0 else 0.0
+    return RunResult(
+        name=config.display_name,
+        transactions=stats.executed,
+        warmup_transactions=warmup_transactions,
+        wall_seconds=wall,
+        tpmc=tpmc,
+        dram_hit_rate=dbms.buffer.stats.hit_rate,
+        flash_hit_rate=cache_stats.flash_hit_rate,
+        write_reduction=cache_stats.write_reduction,
+        utilization=utilization,
+        flash_page_iops=flash_pages / wall if wall > 0 else 0.0,
+        disk_page_iops=disk_pages / wall if wall > 0 else 0.0,
+        duplicate_fraction=getattr(dbms.cache, "duplicate_fraction", 0.0),
+        resource_times=resources,
+        cache_stats={
+            "lookups": cache_stats.lookups,
+            "hits": cache_stats.hits,
+            "flash_writes": cache_stats.flash_writes,
+            "disk_writes": cache_stats.disk_writes,
+            "dirty_evictions": cache_stats.dirty_evictions,
+            "skipped_enqueues": cache_stats.skipped_enqueues,
+            "invalidated_dirty": cache_stats.invalidated_dirty,
+            # TAC's per-entry metadata cost (Section 4.1); 0 elsewhere.
+            "metadata_writes": getattr(dbms.cache, "metadata_writes", 0),
+        },
+    )
+
+
 class ExperimentRunner:
     """Owns one (config, scale) system-under-test end to end."""
 
     def __init__(
-        self, config: SystemConfig, scale: ScaleProfile, seed: int = 42
+        self,
+        config: SystemConfig,
+        scale: ScaleProfile,
+        seed: int = 42,
+        loader: Callable[[SimulatedDBMS, ScaleProfile], TpccDatabase] | None = None,
     ) -> None:
         self.config = config
         self.scale = scale
         self.seed = seed
         self.dbms = SimulatedDBMS(config)
-        self.database: TpccDatabase = load_tpcc(self.dbms, scale, seed=seed)
+        # ``loader`` lets the sweep engine substitute a warm-state fork
+        # (:mod:`repro.sim.warmstate`) for the from-scratch TPC-C load; the
+        # default builds the database the usual way.
+        if loader is None:
+            self.database: TpccDatabase = load_tpcc(self.dbms, scale, seed=seed)
+        else:
+            self.database = loader(self.dbms, scale)
         self.driver = TpccDriver(self.database, seed=seed + 1)
         self._last_checkpoint_wall = 0.0
         self.warmup_transactions = 0
@@ -88,15 +163,7 @@ class ExperimentRunner:
         return executed
 
     def _cache_populated(self) -> bool:
-        cache = self.dbms.cache
-        directory = getattr(cache, "directory", None)
-        if directory is not None:  # mvFIFO family
-            return directory.is_full
-        capacity = getattr(cache, "capacity", None)
-        cached = getattr(cache, "cached_pages", None)
-        if capacity is not None and cached is not None:  # LC/TAC/Exadata
-            return cached >= capacity * 0.95
-        return True  # no cache to populate
+        return cache_populated(self.dbms)
 
     # -- measurement ----------------------------------------------------------
 
@@ -131,43 +198,8 @@ class ExperimentRunner:
 
     def summarise(self) -> RunResult:
         """Snapshot the current measured region into a :class:`RunResult`."""
-        dbms = self.dbms
-        wall = dbms.wall_clock()
-        resources = dbms.resource_times()
-        utilization = {
-            name: (busy / wall if wall > 0 else 0.0)
-            for name, busy in resources.items()
-        }
-        flash_pages = (
-            dbms.flash.device.stats.total_pages if dbms.flash is not None else 0
-        )
-        disk_pages = dbms.disk.device.stats.total_pages
-        stats = dbms.cache.stats
-        return RunResult(
-            name=self.config.display_name,
-            transactions=self.driver.stats.executed,
-            warmup_transactions=self.warmup_transactions,
-            wall_seconds=wall,
-            tpmc=self.driver.tpmc(wall),
-            dram_hit_rate=dbms.buffer.stats.hit_rate,
-            flash_hit_rate=stats.flash_hit_rate,
-            write_reduction=stats.write_reduction,
-            utilization=utilization,
-            flash_page_iops=flash_pages / wall if wall > 0 else 0.0,
-            disk_page_iops=disk_pages / wall if wall > 0 else 0.0,
-            duplicate_fraction=getattr(dbms.cache, "duplicate_fraction", 0.0),
-            resource_times=resources,
-            cache_stats={
-                "lookups": stats.lookups,
-                "hits": stats.hits,
-                "flash_writes": stats.flash_writes,
-                "disk_writes": stats.disk_writes,
-                "dirty_evictions": stats.dirty_evictions,
-                "skipped_enqueues": stats.skipped_enqueues,
-                "invalidated_dirty": stats.invalidated_dirty,
-                # TAC's per-entry metadata cost (Section 4.1); 0 elsewhere.
-                "metadata_writes": getattr(dbms.cache, "metadata_writes", 0),
-            },
+        return summarise_run(
+            self.config, self.dbms, self.driver.stats, self.warmup_transactions
         )
 
 

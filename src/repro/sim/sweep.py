@@ -108,6 +108,12 @@ class Sweep:
     jobs:
         Default worker-process count for :meth:`run` (1 = serial, 0/None =
         one per CPU).
+    shared_seed:
+        Give every cell the sweep's ``seed`` verbatim instead of a per-cell
+        derived seed.  Cells then share one ``(scale, seed)`` boundary
+        stream — the layout the trace-replay fast path amortises best —
+        at the cost of statistically independent workloads per cell (the
+        paper's tables compare policies on the *same* workload anyway).
     """
 
     def __init__(
@@ -121,6 +127,7 @@ class Sweep:
         seed: int = 42,
         jobs: int | None = 1,
         collect_obs: bool = False,
+        shared_seed: bool = False,
     ) -> None:
         if not dimensions:
             raise ConfigError("a sweep needs at least one dimension")
@@ -135,6 +142,7 @@ class Sweep:
         self.seed = seed
         self.jobs = jobs
         self.collect_obs = collect_obs
+        self.shared_seed = shared_seed
         self._explicit_cells: list[CellSpec] | None = None
 
     @classmethod
@@ -167,6 +175,7 @@ class Sweep:
         sweep.seed = cells[0].seed
         sweep.jobs = jobs
         sweep.collect_obs = any(spec.collect_obs for spec in cells)
+        sweep.shared_seed = len({(spec.scale, spec.seed) for spec in cells}) == 1
         sweep._explicit_cells = list(cells)
         return sweep
 
@@ -195,7 +204,7 @@ class Sweep:
                     key=key,
                     config=self.config_factory(**bound),
                     scale=self.scale,
-                    seed=derive_cell_seed(self.seed, key),
+                    seed=self.seed if self.shared_seed else derive_cell_seed(self.seed, key),
                     measure_transactions=self.measure_transactions,
                     warmup_min=self.warmup_min,
                     warmup_max=self.warmup_max,
@@ -209,6 +218,7 @@ class Sweep:
         on_cell: Callable[[tuple, RunResult], None] | None = None,
         jobs: int | None = None,
         progress: Callable[[CellProgress], None] | None = None,
+        fast: bool = False,
     ) -> SweepResults:
         """Execute every cell; optionally observe each as it completes.
 
@@ -216,6 +226,14 @@ class Sweep:
         ``progress`` additionally receives wall-clock and cells-completed
         information (see :func:`~repro.sim.parallel.progress_printer`).
         ``jobs`` overrides the sweep's default for this run.
+
+        ``fast=True`` serves eligible cells from the trace-replay fast path
+        (see :func:`~repro.sim.parallel.run_cells`).  A factorial sweep
+        benefits most with ``shared_seed=True``, which gives every cell the
+        same ``(scale, seed)`` boundary stream so one recording serves the
+        whole grid; with per-cell derived seeds (the default) each cell is
+        its own stream and fast mode only helps when traces are already
+        cached from an earlier run.
         """
         results = SweepResults(dimensions=tuple(self.dimensions))
         results.cells = run_cells(
@@ -223,5 +241,6 @@ class Sweep:
             jobs=self.jobs if jobs is None else jobs,
             on_cell=on_cell,
             progress=progress,
+            fast=fast,
         )
         return results

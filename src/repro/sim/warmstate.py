@@ -1,0 +1,107 @@
+"""Warm-state snapshot reuse: load TPC-C once, fork it per sweep cell.
+
+Every cell of a sweep that shares a (scale, seed) pair starts from the
+*same* loaded database — the population logic is deterministic and does not
+depend on any system knob — yet the naive sweep re-runs the loader for each
+cell.  This module loads once per (scale, seed) per worker process, keeps
+the pristine result memoized, and hands each cell a private fork:
+
+* the catalog / heap-file / index graph is ``deepcopy``-ed in one call, so
+  every internal cross-reference (a heap's ``TableInfo`` *is* the catalog's)
+  survives with its sharing structure intact;
+* the loaded disk image is a shallow copy of the LBA -> :class:`PageImage`
+  mapping — images are immutable snapshots, so sharing them between forks is
+  safe and the copy is O(pages), not O(rows).
+
+The snapshot is taken **after load, before warm-up**: warm-up length and
+effect depend on the cell's cache configuration, so post-warm-up state is
+not shareable across cells (the trace-replay fast path in
+:mod:`repro.sim.replay` is what makes warm-up itself cheap).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.config import CachePolicy, scaled_reference_config
+from repro.core.dbms import SimulatedDBMS
+from repro.db.catalog import Catalog
+from repro.db.heap import HeapFile
+from repro.db.index import HashIndex
+from repro.obs import OBS
+from repro.tpcc.loader import TpccDatabase, estimate_db_pages, load_tpcc
+from repro.tpcc.scale import ScaleProfile
+
+
+@dataclass(frozen=True)
+class WarmSnapshot:
+    """Pristine post-load state for one (scale, seed); never mutated."""
+
+    scale: ScaleProfile
+    seed: int
+    catalog: Catalog
+    tables: dict[str, HeapFile]
+    indexes: dict[str, HashIndex]
+    disk_slots: dict[int, Any]
+    undelivered: dict[tuple[int, int], Any]
+    name_span: int
+
+
+#: Per-process memo: (scale, seed) -> WarmSnapshot.  Worker processes build
+#: their own entries on first use; nothing here crosses process boundaries.
+_SNAPSHOTS: dict[tuple[ScaleProfile, int], WarmSnapshot] = {}
+
+
+def get_snapshot(scale: ScaleProfile, seed: int) -> WarmSnapshot:
+    """Return the memoized post-load snapshot, building it on first use."""
+    key = (scale, seed)
+    snapshot = _SNAPSHOTS.get(key)
+    if snapshot is not None:
+        if OBS.enabled:
+            OBS.counter("replay.snapshot.hits").inc()
+        return snapshot
+    if OBS.enabled:
+        OBS.counter("replay.snapshot.misses").inc()
+    # The loader's output is independent of every system knob, so any
+    # config works for the donor system; hdd-only is the cheapest build.
+    config = scaled_reference_config(
+        estimate_db_pages(scale), policy=CachePolicy.NONE
+    )
+    dbms = SimulatedDBMS(config)
+    database = load_tpcc(dbms, scale, seed=seed)
+    snapshot = WarmSnapshot(
+        scale=scale,
+        seed=seed,
+        catalog=dbms.catalog,
+        tables=dbms.tables,
+        indexes=dbms.indexes,
+        disk_slots=dict(dbms.disk.store._slots),
+        undelivered=database.undelivered,
+        name_span=database.name_span,
+    )
+    _SNAPSHOTS[key] = snapshot
+    return snapshot
+
+
+def fork_database(dbms: SimulatedDBMS, scale: ScaleProfile, seed: int) -> TpccDatabase:
+    """Install a private copy of the loaded database into ``dbms``.
+
+    Drop-in replacement for :func:`repro.tpcc.loader.load_tpcc` (modulo the
+    memoization): the returned :class:`TpccDatabase` and the adopted DBMS
+    state are bit-for-bit what a fresh load would have produced.
+    """
+    snapshot = get_snapshot(scale, seed)
+    catalog, tables, indexes, undelivered = copy.deepcopy(
+        (snapshot.catalog, snapshot.tables, snapshot.indexes, snapshot.undelivered)
+    )
+    dbms.adopt_database_state(catalog, tables, indexes, snapshot.disk_slots)
+    database = TpccDatabase(dbms=dbms, scale=scale, undelivered=undelivered)
+    database.name_span = snapshot.name_span
+    return database
+
+
+def clear_snapshots() -> None:
+    """Drop all memoized snapshots (tests / memory pressure)."""
+    _SNAPSHOTS.clear()

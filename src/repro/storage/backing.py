@@ -72,3 +72,13 @@ class PageStore:
     def clear(self) -> None:
         """Erase the medium (used only when building fresh experiments)."""
         self._slots.clear()
+
+    def adopt_slots(self, slots: dict[int, Any]) -> None:
+        """Replace the whole medium with a copy of ``slots`` (lba -> image).
+
+        Used by warm-state forking (:mod:`repro.sim.warmstate`): the images
+        are immutable snapshots, so a shallow copy of the mapping is a full
+        logical copy of the medium.  The caller is responsible for the LBAs
+        fitting this store's capacity.
+        """
+        self._slots = dict(slots)

@@ -33,6 +33,7 @@ from repro.wal.records import (
     CheckpointRecord,
     CommitRecord,
     LogRecord,
+    SizedUpdateRecord,
     UpdateRecord,
 )
 
@@ -79,6 +80,30 @@ class LogManager:
     ) -> UpdateRecord:
         return self._append(
             UpdateRecord(self._take_lsn(), txid, page_id, slot, before, after)
+        )
+
+    def log_update_sized(
+        self, txid: int, page_id: int, payload_bytes: int
+    ) -> SizedUpdateRecord:
+        """Append an update record of a pre-measured size (trace replay).
+
+        The record carries no row images — only the page id and the
+        variable-length byte count measured when the update was originally
+        traced — so the tail-byte accounting, force page counts and LSN
+        sequence are identical to :meth:`log_update` at a fraction of the
+        cost.  Not usable for recovery redo/undo; replayed systems are never
+        crash-recovered (a fallback full run is).
+        """
+        return self._append(
+            SizedUpdateRecord(
+                self._take_lsn(),
+                txid,
+                page_id,
+                None,
+                None,
+                None,
+                payload_bytes=payload_bytes,
+            )
         )
 
     def take_fpw(self, page_id: int) -> bool:

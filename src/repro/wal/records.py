@@ -16,15 +16,34 @@ from typing import Any
 
 _BASE_RECORD_BYTES = 40  # LSN, prev-LSN, txid, type, CRC, length
 
+#: Public alias — the fixed per-record header size every record type pays.
+BASE_RECORD_BYTES = _BASE_RECORD_BYTES
+
 
 def _value_bytes(value: Any) -> int:
+    # Exact-type checks and an explicit loop: this runs for every column of
+    # every before/after image on the update path, where isinstance chains
+    # and generator frames are measurable.
+    if type(value) is tuple:
+        total = 3
+        for v in value:
+            total += _value_bytes(v)
+        return total
+    if type(value) is str:
+        return 5 + len(value)
     if value is None:
         return 1
-    if isinstance(value, str):
-        return 5 + len(value)
-    if isinstance(value, tuple):
-        return 3 + sum(_value_bytes(v) for v in value)
     return 9  # int / float
+
+
+def update_payload_bytes(slot: Any, before: tuple | None, after: tuple | None) -> int:
+    """Variable-length bytes one slot change contributes to its record.
+
+    This is :meth:`UpdateRecord.size_bytes` minus the fixed header and any
+    full-page image — the quantity the trace-replay fast path records once
+    so replays never re-measure the row images.
+    """
+    return 12 + _value_bytes(slot) + _value_bytes(before) + _value_bytes(after)
 
 
 @dataclass(frozen=True)
@@ -66,16 +85,79 @@ class UpdateRecord(LogRecord):
     page_image: Any = None
 
     def size_bytes(self) -> int:
-        size = (
-            _BASE_RECORD_BYTES
-            + 12
-            + _value_bytes(self.slot)
-            + _value_bytes(self.before)
-            + _value_bytes(self.after)
+        size = _BASE_RECORD_BYTES + update_payload_bytes(
+            self.slot, self.before, self.after
         )
         if self.page_image is not None:
             size += 4096
         return size
+
+
+@dataclass(frozen=True)
+class SizedUpdateRecord(UpdateRecord):
+    """An update record whose variable-length size was measured earlier.
+
+    The trace-replay fast path (:mod:`repro.sim.replay`) records the
+    :func:`update_payload_bytes` of every slot change once, at trace time,
+    and replays it through this record type: the WAL sees a record of
+    exactly the same size — so force timing and full-page-write accounting
+    are bit-identical — without re-walking the row images (the single most
+    expensive computation on the full-execution update path).
+    """
+
+    payload_bytes: int = 0
+
+    def size_bytes(self) -> int:
+        size = _BASE_RECORD_BYTES + self.payload_bytes
+        if self.page_image is not None:
+            size += 4096
+        return size
+
+
+class ReplayUpdateRecord:
+    """Slotted, mutable stand-in for :class:`SizedUpdateRecord`.
+
+    The replay inner loop appends hundreds of thousands of update records
+    per cell; a frozen dataclass pays ``object.__setattr__`` per field,
+    which dominates the loop.  This class carries exactly the state the
+    live WAL needs (LSN ordering, byte size, optional full-page image) and
+    reports the same :meth:`size_bytes` — records of either type are
+    interchangeable in the tail and durable lists.  Like
+    :class:`SizedUpdateRecord` it cannot feed recovery redo/undo.
+    """
+
+    __slots__ = ("lsn", "txid", "page_id", "payload_bytes", "page_image")
+
+    def __init__(self, lsn: int, txid: int, page_id: int, payload_bytes: int) -> None:
+        self.lsn = lsn
+        self.txid = txid
+        self.page_id = page_id
+        self.payload_bytes = payload_bytes
+        self.page_image = None
+
+    def size_bytes(self) -> int:
+        size = _BASE_RECORD_BYTES + self.payload_bytes
+        if self.page_image is not None:
+            size += 4096
+        return size
+
+
+class ReplayMarkerRecord:
+    """Slotted stand-in for Begin/Commit/Abort records in replay warm-up.
+
+    Lifecycle records written during a replayed warm-up are only ever read
+    back by checkpoint log-truncation, which compares LSNs; the fixed
+    header size is accounted inline by the appender.  One slot keeps the
+    three-per-transaction allocation off the warm-up profile.
+    """
+
+    __slots__ = ("lsn",)
+
+    def __init__(self, lsn: int) -> None:
+        self.lsn = lsn
+
+    def size_bytes(self) -> int:
+        return _BASE_RECORD_BYTES
 
 
 @dataclass(frozen=True)

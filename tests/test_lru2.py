@@ -115,3 +115,32 @@ def test_matches_reference_model_under_random_workload():
             assert fast.victim() == naive.victim()
     while naive.hist:
         assert fast.victim() == naive.victim()
+
+
+def test_iter_coldest_partial_consumption_restores_state():
+    policy = Lru2Policy()
+    for key in ("cold", "warm", "hot"):
+        policy.touch(key)
+    policy.touch("hot")
+    policy.touch("warm")
+
+    iterator = policy.iter_coldest()
+    assert next(iterator) == "cold"
+    iterator.close()  # early exit, like a cleaner that flushed enough
+
+    # Popped entries were re-pushed: the full ranking is still intact.
+    assert policy.keys_coldest_first() == ["cold", "warm", "hot"]
+    assert policy.victim() == "cold"
+
+
+def test_iter_coldest_drops_stale_entries_for_good():
+    policy = Lru2Policy()
+    policy.touch("a")
+    policy.touch("b")
+    policy.touch("a")  # invalidates a's first heap entry lazily
+    policy.remove("b")
+
+    assert list(policy.iter_coldest()) == ["a"]
+    # The stale entries ('a' old, 'b' removed) are gone from the heap,
+    # not merely skipped: only the one valid entry was re-pushed.
+    assert len(policy._heap) == 1

@@ -1,0 +1,213 @@
+"""Trace-replay fast path: bit-identical parity with full execution.
+
+The replay engine's whole value rests on one claim (ISSUE: trace-replay
+tentpole): a cell served from the recorded boundary trace produces the
+*same* :class:`~repro.sim.runner.RunResult` — every simulated metric, to
+the last bit — as full execution of the same :class:`CellSpec`.  These
+tests pin that claim for every cache policy, for both DRAM replacement
+policies (the LRU fast loop and the exact fallback loop), with and without
+interval checkpoints, and through the ``run_cells(..., fast=True)``
+orchestration including its warm-fork fallback path and the persistent
+trace cache.
+
+Parity is asserted with ``dataclasses.asdict`` equality, excluding only
+``obs``: observability snapshots are compared on the simulated-metric
+namespaces (``flashcache.``, ``buffer.pool.``, ``wal.``), because the
+``replay.*`` namespace intentionally describes the replay machinery itself
+and has no full-execution counterpart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import CachePolicy, scaled_reference_config
+from repro.obs import OBS
+from repro.sim.parallel import CellSpec, run_cell, run_cell_warm, run_cells
+from repro.sim.replay import (
+    TraceRecorder,
+    cached_trace_exists,
+    clear_recorders,
+    replay_cell,
+)
+from repro.sim.warmstate import clear_snapshots
+from repro.tpcc.loader import estimate_db_pages
+from repro.tpcc.scale import TINY
+
+DB_PAGES = estimate_db_pages(TINY)
+
+#: Simulated-metric namespaces whose obs snapshots must match exactly;
+#: ``replay.*`` is machinery telemetry and is excluded by construction.
+PARITY_PREFIXES = ("flashcache.", "buffer.pool.", "wal.")
+
+#: Short but non-trivial protocol: long enough to fill the small flash
+#: cache, trigger evictions and WAL forces on every policy.
+FAST = dict(measure_transactions=120, warmup_min=40, warmup_max=600)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(monkeypatch):
+    """No cross-test recorder/snapshot sharing; no on-disk trace cache."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    clear_recorders()
+    clear_snapshots()
+    yield
+    clear_recorders()
+    clear_snapshots()
+
+
+def _spec(policy: CachePolicy, seed: int = 42, fraction: float = 0.08, **over) -> CellSpec:
+    params = {**FAST, **over}
+    config_over = params.pop("config_overrides", {})
+    return CellSpec(
+        key=(policy.value, seed, fraction) + tuple(sorted(config_over)),
+        config=scaled_reference_config(
+            DB_PAGES, cache_fraction=fraction, policy=policy, **config_over
+        ),
+        scale=TINY,
+        seed=seed,
+        **params,
+    )
+
+
+def _parity(spec: CellSpec) -> None:
+    full = dataclasses.asdict(run_cell(spec))
+    replayed = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, spec.seed)))
+    full_obs, replay_obs = full.pop("obs"), replayed.pop("obs")
+    assert replayed == full
+    if full_obs is not None:
+        for name, value in full_obs["counters"].items():
+            if name.startswith(PARITY_PREFIXES):
+                assert replay_obs["counters"].get(name) == value, name
+        for name, value in replay_obs["counters"].items():
+            if name.startswith(PARITY_PREFIXES):
+                assert full_obs["counters"].get(name) == value, name
+
+
+# -- the headline property: every policy, two seeds --------------------------
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy), ids=lambda p: p.value)
+@pytest.mark.parametrize("seed", [42, 7])
+def test_replay_parity_every_policy(policy, seed):
+    _parity(_spec(policy, seed=seed))
+
+
+# -- protocol variations -----------------------------------------------------
+
+
+def test_replay_parity_with_interval_checkpoints():
+    _parity(_spec(CachePolicy.FACE, checkpoint_interval=20.0))
+
+
+def test_replay_parity_clock_buffer_policy():
+    # CLOCK takes the exact replay loop (reference bits are policy state
+    # the LRU fast loop never maintains); parity must hold there too.
+    _parity(_spec(CachePolicy.FACE, config_overrides={"buffer_policy": "clock"}))
+
+
+def test_replay_parity_with_collect_obs():
+    _parity(_spec(CachePolicy.FACE_GSC, collect_obs=True))
+
+
+# -- warm-state forks --------------------------------------------------------
+
+
+def test_warm_fork_bit_identical_to_fresh_load():
+    spec = _spec(CachePolicy.LC)
+    fresh = dataclasses.asdict(run_cell(spec))
+    forked = dataclasses.asdict(run_cell_warm(spec))
+    assert forked == fresh
+    # The memoized snapshot is never dirtied by the cell that forked it:
+    # a second fork must reproduce the same result again.
+    assert dataclasses.asdict(run_cell_warm(spec)) == fresh
+
+
+# -- run_cells(..., fast=True) orchestration ---------------------------------
+
+
+def _grid() -> list[CellSpec]:
+    shared = [
+        _spec(CachePolicy.FACE, fraction=f) for f in (0.06, 0.10)
+    ] + [_spec(CachePolicy.LC, fraction=0.08)]
+    opt_out = _spec(CachePolicy.FACE_GR, **{"replay_ok": False})
+    return shared + [opt_out]
+
+
+def test_fast_mode_bit_identical_with_ordered_callbacks():
+    specs = _grid()
+    slow_order, fast_order = [], []
+    slow = run_cells(specs, on_cell=lambda k, r: slow_order.append(k))
+    fast = run_cells(specs, on_cell=lambda k, r: fast_order.append(k), fast=True)
+    assert list(fast) == list(slow) == [s.key for s in specs]
+    assert slow_order == fast_order == [s.key for s in specs]
+    for key in slow:
+        assert dataclasses.asdict(fast[key]) == dataclasses.asdict(slow[key])
+
+
+def test_fast_mode_counts_fallbacks():
+    was_enabled = OBS.enabled
+    OBS.clear()
+    OBS.enable()
+    try:
+        # One replayable pair + one opted-out cell + one lone (scale, seed)
+        # group with no cached trace: two cells must fall back.
+        specs = [
+            _spec(CachePolicy.FACE, fraction=0.06),
+            _spec(CachePolicy.FACE, fraction=0.10),
+            _spec(CachePolicy.FACE_GR, **{"replay_ok": False}),
+            _spec(CachePolicy.LC, seed=9),
+        ]
+        run_cells(specs, fast=True)
+        assert OBS.counter("replay.fallbacks").value == 2
+    finally:
+        OBS.clear()
+        if not was_enabled:
+            OBS.disable()
+
+
+# -- trace recording and the persistent cache --------------------------------
+
+
+def test_trace_extends_incrementally_and_prefix_is_stable():
+    recorder = TraceRecorder(TINY, 42)
+    first = recorder.ensure(50)
+    prefix_ops = list(first.ops)
+    prefix_args = list(first.args)
+    second = recorder.ensure(120)
+    assert second.n_transactions >= 120
+    assert list(second.ops[: len(prefix_ops)]) == prefix_ops
+    assert list(second.args[: len(prefix_args)]) == prefix_args
+
+
+def test_trace_cache_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    assert not cached_trace_exists(TINY, 42)
+    donor = TraceRecorder(TINY, 42)
+    donor.ensure(200)
+    assert donor.save_cache()
+    assert cached_trace_exists(TINY, 42)
+
+    fresh = TraceRecorder(TINY, 42)
+    trace = fresh.ensure(200)
+    assert trace.n_transactions >= 200
+    # The cache served the request: the live recorder only recorded the
+    # self-validation prefix, not the full 200 transactions.
+    assert fresh.trace.n_transactions < 200
+
+
+def test_trace_cache_rejects_corrupt_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    donor = TraceRecorder(TINY, 42)
+    donor.ensure(150)
+    assert donor.save_cache()
+    path = next(tmp_path.iterdir())
+    path.write_bytes(b'{"version": -1}\n' + b"garbage")
+
+    fresh = TraceRecorder(TINY, 42)
+    trace = fresh.ensure(150)
+    # Corrupt cache is ignored, never trusted: recording starts over.
+    assert trace.n_transactions >= 150
+    assert fresh.trace.n_transactions >= 150
