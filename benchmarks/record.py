@@ -22,6 +22,14 @@ exits non-zero with ``--strict``).  Intended uses:
   serial pass: one cold grid pass (includes recording the boundary trace)
   and one warm per-cell pass, with a parity flag asserting the fast results
   are bit-identical to full execution
+* ``--ablation`` records the replay-driven ablation engine instead: a dense
+  TINY knob grid (policy x admission x DRAM policy x scan depth; 64 cells,
+  ``--smoke`` shrinks it to a 2-axis 4-cell grid) served from one shared
+  boundary trace, written to ``BENCH_ablation.json`` with per-axis
+  sensitivities, a replay-parity flag from full-execution spot checks, and
+  the persisted trace's compression ratio — the two acceptance gates
+  (``parity`` true, ``compression_ratio >= 3``) fail the run under
+  ``--strict``
 
 Any cell whose wall time regresses more than ``CELL_REGRESSION_FACTOR``
 (2x) against the previous record also warns — that is the CI gate.
@@ -50,6 +58,7 @@ from repro.tpcc.loader import estimate_db_pages  # noqa: E402
 from repro.tpcc.scale import TINY  # noqa: E402
 
 RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
+ABLATION_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_ablation.json"
 HISTORY_LIMIT = 20
 #: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
 REGRESSION_TOLERANCE = 0.30
@@ -246,6 +255,79 @@ def compare_with_previous(record: dict, previous: dict | None) -> list[str]:
     return warnings
 
 
+# -- ablation record ---------------------------------------------------------
+
+#: The dense grid the full ablation record runs: 4 x 2 x 2 x 4 = 64 cells,
+#: every one sharing the single (TINY, SEED) boundary trace.  Axes are
+#: chosen for signal at TINY scale (the 103-page database sits entirely
+#: inside the floor-sized flash cache, so size/eviction knobs are inert
+#: there — those ablations live in benchmarks/bench_ablation_*.py at BENCH
+#: scale).  ``scan_depth`` is kept although flat: a flat curve across an
+#: 8x depth range is the paper's own §3.3 claim.
+ABLATION_AXES = {
+    "policy": ("face", "face+gr", "face+gsc", "lc"),
+    "admission": None,
+    "dram": None,
+    "scan_depth": (16, 32, 64, 128),
+}
+#: CI smoke: a 2-axis, 4-cell grid — same machinery, minutes cheaper.
+SMOKE_ABLATION_AXES = {"admission": None, "sync": None}
+ABLATION_MEASURE_TX = 600
+#: The compressed persisted trace must beat the raw array encoding by at
+#: least this factor (the trace-compression acceptance gate).
+MIN_COMPRESSION_RATIO = 3.0
+
+
+def run_ablation_record(jobs: int, smoke: bool) -> dict:
+    """Run the ablation grid via replay; record sensitivities + gates."""
+    from repro.sim.ablation import AblationStudy, verify_parity
+    from repro.sim.experiment import ExperimentConfig
+    from repro.sim.replay import persisted_trace_stats
+
+    base = ExperimentConfig(
+        scale=TINY, seed=SEED, measure_transactions=ABLATION_MEASURE_TX
+    )
+    study = AblationStudy(base, SMOKE_ABLATION_AXES if smoke else ABLATION_AXES)
+    results = study.run(jobs=jobs, fast=True)
+    parity, mismatched = verify_parity(study, results, sample=2 if smoke else 3)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "smoke" if smoke else "full",
+        **results.to_record(),
+        "replay_parity": parity,
+    }
+    if mismatched:
+        record["parity_mismatches"] = [list(key) for key in mismatched]
+    stats = persisted_trace_stats(base.scale, base.seed)
+    if stats is not None and stats.get("body_bytes"):
+        record["trace"] = {
+            **stats,
+            "compression_ratio": round(stats["raw_bytes"] / stats["body_bytes"], 2),
+        }
+    return record
+
+
+def ablation_warnings(record: dict) -> list[str]:
+    warnings = []
+    if not record.get("replay_parity", False):
+        warnings.append(
+            "ablation replay results are NOT bit-identical to full execution"
+        )
+    trace = record.get("trace")
+    if trace is None:
+        warnings.append(
+            "no persisted trace found (REPRO_TRACE_CACHE off?): compression "
+            "ratio not verified"
+        )
+    elif trace["compression_ratio"] < MIN_COMPRESSION_RATIO:
+        warnings.append(
+            f"trace compression ratio {trace['compression_ratio']}x is below "
+            f"the {MIN_COMPRESSION_RATIO}x floor"
+        )
+    return warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=2,
@@ -261,25 +343,49 @@ def main(argv: list[str] | None = None) -> int:
                         help="also time the trace-replay fast path (cold + "
                              "warm) against the full serial pass and check "
                              "bit-identical parity")
-    parser.add_argument("--output", type=Path, default=RECORD_PATH)
+    parser.add_argument("--ablation", action="store_true",
+                        help="record the replay-driven ablation grid to "
+                             "BENCH_ablation.json instead of the sweep")
+    parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
+    output = args.output or (ABLATION_RECORD_PATH if args.ablation else RECORD_PATH)
 
     existing = {}
-    if args.output.exists():
-        existing = json.loads(args.output.read_text())
+    if output.exists():
+        existing = json.loads(output.read_text())
     previous = existing.get("latest")
 
-    record = run_record(args.jobs, args.smoke, collect_obs=args.obs, fast=args.fast)
-    warnings = compare_with_previous(record, previous)
+    if args.ablation:
+        record = run_ablation_record(args.jobs, args.smoke)
+        warnings = ablation_warnings(record)
+    else:
+        record = run_record(args.jobs, args.smoke, collect_obs=args.obs,
+                            fast=args.fast)
+        warnings = compare_with_previous(record, previous)
 
     history = existing.get("history", [])
     if previous is not None:
         history = (history + [previous])[-HISTORY_LIMIT:]
-    args.output.write_text(
+    output.write_text(
         json.dumps({"latest": record, "history": history}, indent=2) + "\n"
     )
 
-    print(f"wrote {args.output}")
+    if args.ablation:
+        print(f"wrote {output}")
+        print(f"  cells: {record['n_cells']}  mode: {record['mode']}  "
+              f"axes: {' x '.join(record['axes'])}")
+        print(f"  wall: {record['wall_seconds']}s "
+              f"({record['wall_seconds_per_cell']}s/cell)  "
+              f"parity: {record['replay_parity']}")
+        if "trace" in record:
+            t = record["trace"]
+            print(f"  trace: {t['raw_bytes']} raw -> {t['body_bytes']} "
+                  f"compressed ({t['compression_ratio']}x)")
+        for warning in warnings:
+            print(f"WARNING: {warning}", file=sys.stderr)
+        return 1 if (warnings and args.strict) else 0
+
+    print(f"wrote {output}")
     print(f"  cells: {len(record['cells'])}  mode: {record['mode']}")
     print(f"  serial: {record['serial']['wall_seconds']}s "
           f"({record['serial']['wall_seconds_per_cell']}s/cell)")

@@ -24,8 +24,15 @@ paper-vs-measured record of every table and figure.
 from repro.core.config import CachePolicy, SystemConfig, scaled_reference_config
 from repro.core.dbms import SimulatedDBMS, Transaction
 from repro.errors import ReproError
+from repro.flashcache.registry import (
+    available_policies,
+    make_policy,
+    resolve_policy,
+)
 from repro.obs import OBS, RegistrySnapshot, merge_snapshots
 from repro.recovery.restart import RecoveryManager, RestartReport, crash_and_restart
+from repro.sim.ablation import AblationResults, AblationStudy
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.metrics import ThroughputSeries
 from repro.sim.parallel import CellSpec, run_cells
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
@@ -37,8 +44,11 @@ from repro.tpcc.scale import ScaleProfile
 __version__ = "1.0.0"
 
 __all__ = [
+    "AblationResults",
+    "AblationStudy",
     "CachePolicy",
     "CellSpec",
+    "ExperimentConfig",
     "ExperimentRunner",
     "OBS",
     "RecoveryManager",
@@ -56,9 +66,12 @@ __all__ = [
     "TpccDriver",
     "Transaction",
     "__version__",
+    "available_policies",
     "crash_and_restart",
     "load_tpcc",
+    "make_policy",
     "merge_snapshots",
+    "resolve_policy",
     "run_cells",
     "run_steady_state",
     "scaled_reference_config",

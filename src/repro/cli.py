@@ -6,6 +6,9 @@ Commands
 ``recover``  crash + restart comparison (Table 6 style)
 ``devices``  microbenchmark the simulated device models (Table 1 style)
 ``sweep``    cache-size sweep for one policy (Figure 4 style series)
+``ablate``   replay-driven ablation grid over the paper's design knobs
+             (admission, sync, scan depth, ...); prints per-axis
+             sensitivity tables (also ``--json``)
 ``stats``    one measured run with observability on; prints every internal
              metric plus the derived Table 3 figures (also ``--json``/``--csv``)
 
@@ -23,6 +26,7 @@ import sys
 from repro.analysis.report import restart_report_table, run_result_table
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import CachePolicy, scaled_reference_config
+from repro.flashcache.registry import available_policies, get_policy_entry
 from repro.recovery.restart import RecoveryManager
 from repro.sim.parallel import CellSpec, progress_printer, run_cells
 from repro.sim.runner import ExperimentRunner
@@ -31,7 +35,11 @@ from repro.storage.profiles import TABLE1_PROFILES
 from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import BENCH, TINY, ScaleProfile
 
-_POLICY_NAMES = {p.value: p for p in CachePolicy}
+#: CLI policy choices come from the registry, so a policy added there is
+#: immediately selectable here (and in ``ablate``'s ``policy`` axis).
+_POLICY_NAMES: dict[str, CachePolicy] = {
+    name: get_policy_entry(name).policy for name in available_policies()
+}
 
 
 def _scale(name: str) -> ScaleProfile:
@@ -205,6 +213,12 @@ def cmd_sweep(args) -> int:
     policy = _POLICY_NAMES[args.policy]
     scale = _scale(args.scale)
     db_pages = estimate_db_pages(scale)
+    # --shared-seed is its own decision; it merely *defaults* to following
+    # --fast (one shared boundary stream is the layout replay amortises
+    # best).  --no-shared-seed keeps statistically independent per-cell
+    # workloads even in fast mode — Sweep.run() warns when that combination
+    # cannot amortise the recording.
+    shared_seed = args.fast if args.shared_seed is None else args.shared_seed
     sweep = Sweep(
         dimensions={"fraction": list(args.fractions)},
         config_factory=lambda fraction: scaled_reference_config(
@@ -214,7 +228,7 @@ def cmd_sweep(args) -> int:
         measure_transactions=args.transactions,
         warmup_max=50_000,
         seed=args.seed,
-        shared_seed=args.fast,
+        shared_seed=shared_seed,
     )
     results = sweep.run(
         jobs=args.jobs, progress=progress_printer(sys.stderr), fast=args.fast
@@ -228,6 +242,72 @@ def cmd_sweep(args) -> int:
         )
     )
     return 0
+
+
+def _axis_value(token: str):
+    """Parse one ``NAME=v1,v2`` value: int, float, bool, none or string."""
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "off"):
+        return None
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token.strip()
+
+
+def cmd_ablate(args) -> int:
+    import json
+
+    from repro.sim.ablation import AblationStudy, verify_parity
+    from repro.sim.experiment import ExperimentConfig
+
+    base = ExperimentConfig(
+        scale=_scale(args.scale),
+        seed=args.seed,
+        policy=args.policy,
+        cache_fraction=args.cache_fraction,
+        measure_transactions=args.transactions,
+        warmup_max=50_000,
+    )
+    axes: dict[str, list | None] = {}
+    for token in args.axes:
+        name, _, raw = token.partition("=")
+        axes[name] = [_axis_value(v) for v in raw.split(",")] if raw else None
+    study = AblationStudy(base, axes)
+    print(
+        f"# ablation: {len(study)} cells over "
+        f"{' x '.join(study.dimensions)} (base: {args.policy})",
+        file=sys.stderr,
+    )
+    results = study.run(
+        jobs=args.jobs,
+        progress=progress_printer(sys.stderr),
+        fast=not args.no_fast,
+    )
+    parity = None
+    if args.check_parity:
+        ok, mismatched = verify_parity(study, results, sample=args.check_parity)
+        parity = ok
+        print(
+            f"# parity: {'ok' if ok else 'MISMATCH'} "
+            f"({args.check_parity} cell(s) re-run under full execution"
+            f"{'' if ok else ': ' + ', '.join(map(str, mismatched))})",
+            file=sys.stderr,
+        )
+    if args.json:
+        record = results.to_record()
+        if parity is not None:
+            record["replay_parity"] = parity
+        print(json.dumps(record, indent=2))
+    else:
+        for axis in study.dimensions:
+            print(results.sensitivity_table(axis))
+            print()
+    return 0 if parity in (None, True) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,9 +354,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--transactions", type=int, default=2000)
     sweep.add_argument("--fast", action="store_true",
-                       help="share one seed across cells and serve them "
-                            "from the trace-replay fast path")
+                       help="serve cells from the trace-replay fast path")
+    sweep.add_argument("--shared-seed", dest="shared_seed",
+                       action=argparse.BooleanOptionalAction, default=None,
+                       help="give every cell the same seed (one shared "
+                            "boundary stream; defaults to following --fast)")
     sweep.set_defaults(func=cmd_sweep)
+
+    ablate = sub.add_parser(
+        "ablate",
+        help="replay-driven ablation grid over the paper's design knobs",
+        description="Run a dense knob grid over one recorded workload via "
+        "the trace-replay fast path and print per-axis sensitivity tables. "
+        "Axes: admission, sync, scan_depth, checkpoint, cache_fraction, "
+        "policy, dram — or any ExperimentConfig field. Values come from "
+        "the paper unless overridden as NAME=v1,v2,...",
+    )
+    ablate.add_argument(
+        "axes", nargs="+", metavar="AXIS[=V1,V2,...]",
+        help="axis name, optionally with explicit values "
+             "(e.g. 'scan_depth=16,64' or just 'admission')",
+    )
+    ablate.add_argument("--policy", default="face+gsc",
+                        choices=sorted(_POLICY_NAMES),
+                        help="base policy the grid varies around "
+                             "(default face+gsc)")
+    ablate.add_argument("--transactions", type=int, default=2000)
+    ablate.add_argument("--json", action="store_true",
+                        help="emit the full grid + sensitivities as JSON")
+    ablate.add_argument("--check-parity", type=int, default=0, metavar="N",
+                        help="re-run N sample cells under full execution "
+                             "and require bit-identical results (exit 1 on "
+                             "mismatch)")
+    ablate.add_argument("--no-fast", action="store_true",
+                        help="full-execute every cell instead of replaying "
+                             "the shared boundary trace")
+    ablate.set_defaults(func=cmd_ablate)
 
     stats = sub.add_parser(
         "stats", help="measured run with observability; metric dump + Table 3 check"

@@ -1,26 +1,21 @@
 """Factory wiring a :class:`SystemConfig` to concrete devices and caches.
 
-This is the single place where the config's declarative fields (policy
-enum, device counts, cache pages) become live objects: the database volume
-(RAID-0 array or single SSD for the paper's "SSD only" case), the dedicated
-log device, the flash volume, and the flash-cache policy instance.  Keeping
-construction here means the DBMS, CLI, sweeps and tests all build identical
-systems from identical configs — which is what makes cells picklable and
-parallel runs reproducible.
+This is the single place where the config's declarative fields (device
+counts, capacities, cache pages) become live storage objects: the database
+volume (RAID-0 array or single SSD for the paper's "SSD only" case), the
+dedicated log device and the flash volume.  Flash-cache *policy*
+construction itself lives in :mod:`repro.flashcache.registry` — the named
+catalogue the CLI and ablation axes also resolve through — and
+:func:`build_cache` remains here as a thin shim over it.  Building
+everything from configs is what makes cells picklable and parallel runs
+reproducible.
 """
 
 from __future__ import annotations
 
-from repro.core.config import CachePolicy, SystemConfig
-from repro.errors import ConfigError
+from repro.core.config import SystemConfig
 from repro.flashcache.base import FlashCacheBase
-from repro.flashcache.exadata import ExadataStyleCache
-from repro.flashcache.group import GroupReplacementCache, GroupSecondChanceCache
-from repro.flashcache.lc import LazyCleaningCache
 from repro.flashcache.metadata import ENTRY_BYTES
-from repro.flashcache.mvfifo import MvFifoCache
-from repro.flashcache.null import NullFlashCache
-from repro.flashcache.tac import TacCache
 from repro.storage.device import Device
 from repro.storage.hdd import DiskDevice
 from repro.storage.profiles import PAGE_SIZE
@@ -62,42 +57,14 @@ def build_flash_volume(config: SystemConfig) -> Volume | None:
 def build_cache(
     config: SystemConfig, flash: Volume | None, disk: Volume
 ) -> FlashCacheBase:
-    """Instantiate the configured flash-cache policy."""
-    policy = config.cache_policy
-    if config.ssd_only or policy is CachePolicy.NONE:
-        return NullFlashCache(disk)
-    if flash is None:
-        raise ConfigError(f"policy {policy.value} requires a flash volume")
-    face_options = dict(
-        cache_clean=config.face_cache_clean,
-        write_through=config.face_write_through,
-    )
-    if policy is CachePolicy.FACE:
-        return MvFifoCache(
-            flash, disk, config.cache_pages, config.segment_entries, **face_options
-        )
-    if policy is CachePolicy.FACE_GR:
-        return GroupReplacementCache(
-            flash, disk, config.cache_pages, config.segment_entries,
-            config.scan_depth, **face_options
-        )
-    if policy is CachePolicy.FACE_GSC:
-        return GroupSecondChanceCache(
-            flash, disk, config.cache_pages, config.segment_entries,
-            config.scan_depth, **face_options
-        )
-    if policy is CachePolicy.LC:
-        return LazyCleaningCache(
-            flash, disk, config.cache_pages, config.lc_dirty_threshold
-        )
-    if policy is CachePolicy.TAC:
-        return TacCache(
-            flash,
-            disk,
-            config.cache_pages,
-            config.tac_extent_pages,
-            config.tac_admit_threshold,
-        )
-    if policy is CachePolicy.EXADATA:
-        return ExadataStyleCache(flash, disk, config.cache_pages)
-    raise ConfigError(f"unhandled cache policy {policy!r}")
+    """Instantiate the configured flash-cache policy.
+
+    Deprecated alias for
+    :func:`repro.flashcache.registry.build_cache_from_config`: policy
+    construction now lives in the registry, where the CLI and the ablation
+    engine resolve policies by name.  This shim keeps every pre-registry
+    call site working unchanged.
+    """
+    from repro.flashcache.registry import build_cache_from_config
+
+    return build_cache_from_config(config, flash, disk)

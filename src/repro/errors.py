@@ -67,3 +67,7 @@ class WorkloadError(ReproError):
 
 class ConfigError(ReproError):
     """A system configuration is inconsistent or out of range."""
+
+
+class TraceCodecError(ReproError):
+    """A compressed boundary trace is malformed, truncated or corrupt."""

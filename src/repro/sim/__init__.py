@@ -5,12 +5,17 @@ The experiment-orchestration layer above the DBMS:
 of Section 5.2), :class:`~repro.sim.sweep.Sweep` grids and the parallel
 execution engine (:mod:`~repro.sim.parallel`), crash scheduling for the
 Section 5.5 protocol (:mod:`~repro.sim.crashes`), windowed throughput
-series for Figure 6 (:mod:`~repro.sim.metrics`), and I/O tracing
-(:mod:`~repro.sim.trace`).  Everything is deterministic under a seed, and
-sweep cells carry optional observability snapshots (``collect_obs``).
+series for Figure 6 (:mod:`~repro.sim.metrics`), I/O tracing and the
+boundary-trace codec (:mod:`~repro.sim.trace`), the declarative
+:class:`~repro.sim.experiment.ExperimentConfig`, and the replay-driven
+ablation engine (:mod:`~repro.sim.ablation`).  Everything is deterministic
+under a seed, and sweep cells carry optional observability snapshots
+(``collect_obs``).
 """
 
+from repro.sim.ablation import AblationResults, AblationStudy, verify_parity
 from repro.sim.crashes import CrashRun, crash_mid_interval, run_until_mid_interval
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.metrics import ThroughputSample, ThroughputSeries
 from repro.sim.parallel import (
     CellProgress,
@@ -22,12 +27,21 @@ from repro.sim.parallel import (
 )
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
 from repro.sim.sweep import Sweep, SweepResults
-from repro.sim.trace import IOTracer, TraceEvent, replay
+from repro.sim.trace import (
+    IOTracer,
+    TraceEvent,
+    decode_boundary,
+    encode_boundary,
+    replay,
+)
 
 __all__ = [
+    "AblationResults",
+    "AblationStudy",
     "CellProgress",
     "CellSpec",
     "CrashRun",
+    "ExperimentConfig",
     "ExperimentRunner",
     "IOTracer",
     "RunResult",
@@ -37,11 +51,14 @@ __all__ = [
     "ThroughputSeries",
     "TraceEvent",
     "crash_mid_interval",
+    "decode_boundary",
     "derive_cell_seed",
+    "encode_boundary",
     "progress_printer",
     "replay",
     "run_cell",
     "run_cells",
     "run_steady_state",
     "run_until_mid_interval",
+    "verify_parity",
 ]

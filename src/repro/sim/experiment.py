@@ -1,0 +1,129 @@
+"""One frozen description of one experiment: :class:`ExperimentConfig`.
+
+Before this module, "what does this cell run?" was a knob soup smeared
+across three layers: :class:`~repro.core.config.SystemConfig` overrides
+built by ad-hoc factories, :class:`~repro.sim.parallel.CellSpec` protocol
+fields (measure/warm-up counts, checkpoint cadence, obs collection), and
+CLI flags mapping onto both.  :class:`ExperimentConfig` unifies them into a
+single frozen dataclass covering *everything* that defines an experiment —
+workload (scale, seed), system (policy name, size fractions, policy knobs),
+and measurement protocol — with one deriver:
+
+    base = ExperimentConfig(scale=TINY, policy="face+gsc")
+    cell = base.with_(scan_depth=128, cache_fraction=0.08)
+
+``with_`` validates field names (a typo'd knob raises instead of silently
+doing nothing) and returns a new frozen instance, so a whole ablation grid
+is just ``base.with_(axis=value)`` per cell.  The lowering to the older
+layers is explicit: :meth:`ExperimentConfig.system_config` builds the
+:class:`SystemConfig` (resolving the policy name through
+:mod:`repro.flashcache.registry`), and
+:meth:`~repro.sim.parallel.CellSpec.from_config` lowers the whole thing to
+a picklable sweep cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import SystemConfig, scaled_reference_config
+from repro.errors import ConfigError
+from repro.flashcache.registry import resolve_policy
+from repro.tpcc.loader import estimate_db_pages
+from repro.tpcc.scale import TINY, ScaleProfile
+
+#: ``estimate_db_pages`` re-runs the schema-creation probe each call; an
+#: ablation grid lowers hundreds of cells at the same scale, so memoise it
+#: (profiles are frozen dataclasses and hash by value).
+_db_pages = lru_cache(maxsize=None)(estimate_db_pages)
+
+#: Fields forwarded verbatim as :class:`SystemConfig` overrides.
+_SYSTEM_FIELDS = (
+    "buffer_policy",
+    "scan_depth",
+    "face_cache_clean",
+    "face_write_through",
+    "lc_dirty_threshold",
+    "tac_extent_pages",
+    "tac_admit_threshold",
+    "ssd_only",
+    "label",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that defines one steady-state experiment, in one place."""
+
+    # -- workload ------------------------------------------------------------
+    scale: ScaleProfile = TINY
+    seed: int = 42
+
+    # -- system under test ---------------------------------------------------
+    #: Flash-cache policy, by registry name (see
+    #: :func:`repro.flashcache.registry.available_policies`).
+    policy: str = "face+gsc"
+    cache_fraction: float = 0.12
+    buffer_fraction: float = 0.004
+    buffer_policy: str = "lru"
+    scan_depth: int = 64
+    face_cache_clean: bool = True
+    face_write_through: bool = False
+    lc_dirty_threshold: float = 0.9
+    tac_extent_pages: int = 32
+    tac_admit_threshold: int = 2
+    ssd_only: bool = False
+    label: str = ""
+
+    # -- measurement protocol ------------------------------------------------
+    measure_transactions: int = 2000
+    warmup_min: int = 500
+    warmup_max: int = 15_000
+    checkpoint_interval: float | None = None
+    collect_obs: bool = False
+
+    def __post_init__(self) -> None:
+        resolve_policy(self.policy)  # fail fast on unknown names
+        if self.measure_transactions < 1:
+            raise ConfigError("measure_transactions must be >= 1")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ConfigError("cache_fraction must be within (0, 1]")
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """Return a derived config; unknown field names raise.
+
+        This is the ablation deriver: ``base.with_(scan_depth=128)`` is one
+        grid cell.  ``dataclasses.replace`` would raise a ``TypeError`` on
+        unknown names; converting to :class:`ConfigError` keeps knob typos
+        in the same error family as every other configuration mistake.
+        """
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown experiment field(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def system_config(self) -> SystemConfig:
+        """Lower to the :class:`SystemConfig` this experiment runs on."""
+        return scaled_reference_config(
+            _db_pages(self.scale),
+            cache_fraction=self.cache_fraction,
+            buffer_fraction=self.buffer_fraction,
+            policy=resolve_policy(self.policy),
+            **{name: getattr(self, name) for name in _SYSTEM_FIELDS},
+        )
+
+    def describe(self) -> str:
+        """Compact non-default summary, for table captions and JSON records."""
+        defaults = ExperimentConfig(scale=self.scale)
+        diffs = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+            if f.name != "scale" and getattr(self, f.name) != getattr(defaults, f.name)
+        ]
+        return ", ".join(diffs) if diffs else "(reference configuration)"

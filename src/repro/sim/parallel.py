@@ -39,13 +39,16 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence, TextIO
+from typing import TYPE_CHECKING, Callable, Sequence, TextIO
 
 from repro.core.config import SystemConfig
 from repro.errors import ConfigError
 from repro.obs import OBS
 from repro.sim.runner import ExperimentRunner, RunResult
 from repro.tpcc.scale import ScaleProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.experiment import ExperimentConfig
 
 
 @dataclass(frozen=True)
@@ -76,6 +79,33 @@ class CellSpec:
     #: execution (e.g. when the cell is itself a recording donor you want
     #: to cross-check, or a protocol outside steady-state measurement).
     replay_ok: bool = True
+
+    @classmethod
+    def from_config(
+        cls, key: tuple, experiment: "ExperimentConfig", **overrides
+    ) -> "CellSpec":
+        """Lower an :class:`~repro.sim.experiment.ExperimentConfig` to a cell.
+
+        The experiment carries both the system description (lowered via
+        :meth:`~repro.sim.experiment.ExperimentConfig.system_config`) and
+        the measurement protocol, so this is the one-call bridge from the
+        declarative API to the sweep engine.  ``overrides`` replace any of
+        the resulting spec's own fields (e.g. ``replay_ok=False`` or a
+        per-cell ``seed``).
+        """
+        params = dict(
+            key=key,
+            config=experiment.system_config(),
+            scale=experiment.scale,
+            seed=experiment.seed,
+            measure_transactions=experiment.measure_transactions,
+            warmup_min=experiment.warmup_min,
+            warmup_max=experiment.warmup_max,
+            checkpoint_interval=experiment.checkpoint_interval,
+            collect_obs=experiment.collect_obs,
+        )
+        params.update(overrides)
+        return cls(**params)
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,22 @@ from repro.errors import ConfigError
 from repro.obs import OBS
 from repro.sim.metrics import ThroughputSeries
 from repro.sim.runner import RunResult, cache_populated, summarise_run
+from repro.sim.trace import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_READ,
+    OP_READ_DUP,
+    OP_TXEND,
+    OP_UPDATE,
+    PAYLOAD_BITS as _PAYLOAD_BITS,
+    PAYLOAD_MASK as _PAYLOAD_MASK,
+    boundary_checksum,
+    decode_boundary,
+    encode_boundary,
+    raw_boundary_bytes,
+)
+from repro.errors import TraceCodecError
 from repro.sim.warmstate import fork_database
 from repro.tpcc.driver import _MIX, TpccDriver, WorkloadStats
 from repro.tpcc.loader import estimate_db_pages
@@ -75,30 +91,23 @@ from repro.wal.records import (
 )
 
 # -- event alphabet ----------------------------------------------------------
-
-OP_BEGIN = 0
-OP_READ = 1
-OP_UPDATE = 2
-OP_COMMIT = 3
-OP_ABORT = 4
-OP_TXEND = 5
-#: A re-read of the page the immediately preceding event read (18% of all
-#: reads in TPC-C — think index descent then heap fetch).  Carries no
-#: operand, and replays as a guaranteed DRAM hit on the MRU frame: no event
-#: of any kind separates it from the read that made the page resident.
-OP_READ_DUP = 6
-
-#: ``UPDATE`` packs (page_id << _PAYLOAD_BITS) | payload_bytes in one int.
-_PAYLOAD_BITS = 21
-_PAYLOAD_MASK = (1 << _PAYLOAD_BITS) - 1
+#
+# The opcode constants (OP_BEGIN .. OP_READ_DUP) and the UPDATE operand
+# packing (page_id << PAYLOAD_BITS | payload) are defined next to the wire
+# format in :mod:`repro.sim.trace` and re-exported here.  OP_READ_DUP is a
+# re-read of the page the immediately preceding event read (18% of all
+# reads in TPC-C — think index descent then heap fetch); it carries no
+# operand, and replays as a guaranteed DRAM hit on the MRU frame: no event
+# of any kind separates it from the read that made the page resident.
 
 #: Transaction kinds in mix order; ``TXEND`` packs (kind_index << 1) | committed.
 TX_KINDS = tuple(kind for kind, _ in _MIX)
 _KIND_INDEX = {kind: index for index, kind in enumerate(TX_KINDS)}
 
 #: Bump when the trace encoding changes; cached files of other versions are
-#: ignored.
-TRACE_FORMAT_VERSION = 2
+#: ignored.  v3 switched the on-disk body to the compressed boundary codec
+#: (:mod:`repro.sim.trace`) with a CRC-32 of the raw arrays in the header.
+TRACE_FORMAT_VERSION = 3
 
 #: Fresh transactions re-recorded to validate a cached trace against the
 #: current code (RNG stream, schema, workload logic).  Large enough that
@@ -247,6 +256,7 @@ def _cache_key(scale: ScaleProfile, seed: int) -> str:
 
 
 def _save_trace(path: Path, scale: ScaleProfile, seed: int, trace: BoundaryTrace) -> None:
+    body = encode_boundary(trace.ops, trace.args)
     header = json.dumps(
         {
             "version": TRACE_FORMAT_VERSION,
@@ -255,14 +265,16 @@ def _save_trace(path: Path, scale: ScaleProfile, seed: int, trace: BoundaryTrace
             "n_transactions": trace.n_transactions,
             "n_ops": len(trace.ops),
             "n_args": len(trace.args),
+            "crc32": boundary_checksum(trace.ops, trace.args),
+            "raw_bytes": raw_boundary_bytes(trace.ops, trace.args),
+            "body_bytes": len(body),
         }
     ).encode()
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as fh:
         fh.write(header + b"\n")
-        fh.write(trace.ops.tobytes())
-        fh.write(trace.args.tobytes())
+        fh.write(body)
     os.replace(tmp, path)
 
 
@@ -276,13 +288,44 @@ def _load_trace(path: Path, scale: ScaleProfile, seed: int) -> BoundaryTrace | N
                 or header.get("seed") != seed
             ):
                 return None
+            ops, args = decode_boundary(fh.read())
             trace = BoundaryTrace()
-            trace.ops.frombytes(fh.read(header["n_ops"]))
-            trace.args.frombytes(fh.read(header["n_args"] * trace.args.itemsize))
-            if len(trace.ops) != header["n_ops"] or len(trace.args) != header["n_args"]:
+            trace.ops, trace.args = ops, args
+            # Corruption detection: the decoded arrays must match the saved
+            # counts *and* checksum bit-for-bit, else the file is treated as
+            # absent (the recorder then records afresh).
+            if (
+                len(ops) != header["n_ops"]
+                or len(args) != header["n_args"]
+                or boundary_checksum(ops, args) != header.get("crc32")
+            ):
                 return None
             trace.n_transactions = header["n_transactions"]
             return trace
+    except (OSError, ValueError, KeyError, TraceCodecError):
+        return None
+
+
+def persisted_trace_stats(scale: ScaleProfile, seed: int) -> dict[str, int] | None:
+    """Header sizes of the persisted trace for ``(scale, seed)``, or None.
+
+    Returns ``{"raw_bytes", "body_bytes", "file_bytes", "n_transactions"}``
+    without decoding the body — enough for the benchmark recorder and the
+    CI gate to assert the compression ratio of what is actually on disk.
+    """
+    directory = trace_cache_dir()
+    if directory is None:
+        return None
+    path = directory / _cache_key(scale, seed)
+    try:
+        with open(path, "rb") as fh:
+            header = json.loads(fh.readline().decode())
+            return {
+                "raw_bytes": int(header["raw_bytes"]),
+                "body_bytes": int(header["body_bytes"]),
+                "file_bytes": path.stat().st_size,
+                "n_transactions": int(header["n_transactions"]),
+            }
     except (OSError, ValueError, KeyError):
         return None
 

@@ -28,6 +28,7 @@ of the same sweep produce bit-identical :class:`SweepResults`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -233,14 +234,44 @@ class Sweep:
         same ``(scale, seed)`` boundary stream so one recording serves the
         whole grid; with per-cell derived seeds (the default) each cell is
         its own stream and fast mode only helps when traces are already
-        cached from an earlier run.
+        cached from an earlier run; that combination emits a
+        :class:`UserWarning` so the misconfiguration is visible instead of
+        silently running at full-execution speed.
         """
+        specs = self.cell_specs()
+        if fast:
+            self._warn_if_fast_wont_amortise(specs)
         results = SweepResults(dimensions=tuple(self.dimensions))
         results.cells = run_cells(
-            self.cell_specs(),
+            specs,
             jobs=self.jobs if jobs is None else jobs,
             on_cell=on_cell,
             progress=progress,
             fast=fast,
         )
         return results
+
+    @staticmethod
+    def _warn_if_fast_wont_amortise(specs: Sequence[CellSpec]) -> None:
+        """Warn when ``fast=True`` cannot amortise a recording.
+
+        With per-cell derived seeds every cell is its own ``(scale, seed)``
+        boundary stream; unless those streams are already in the persistent
+        trace cache, each one must be recorded alongside its own full
+        execution and the fast path saves nothing.
+        """
+        from repro.sim.replay import cached_trace_exists
+
+        streams = {(spec.scale, spec.seed) for spec in specs}
+        if len(streams) <= 1:
+            return
+        if any(cached_trace_exists(scale, seed) for scale, seed in streams):
+            return
+        warnings.warn(
+            f"fast sweep over {len(streams)} per-cell seeds with no cached "
+            "traces: every cell records its own boundary stream, so replay "
+            "cannot amortise the recording. Pass shared_seed=True (CLI: "
+            "--shared-seed) to serve the whole grid from one recording.",
+            UserWarning,
+            stacklevel=3,
+        )

@@ -82,3 +82,59 @@ def test_validation():
         Sweep({}, factory, TINY)
     with pytest.raises(ConfigError):
         Sweep({"policy": []}, factory, TINY)
+
+
+class TestFastSeedWarning:
+    """fast=True with per-cell seeds and no cached traces warns (ISSUE 4)."""
+
+    def _sweep(self, shared_seed: bool) -> Sweep:
+        return Sweep(
+            dimensions={"cache_pages": [64, 96]},
+            config_factory=lambda cache_pages: tiny_config(
+                CachePolicy.FACE, cache_pages=cache_pages,
+                disk_capacity_pages=8192,
+            ),
+            scale=TINY,
+            measure_transactions=50,
+            warmup_min=20,
+            warmup_max=100,
+            seed=6,
+            shared_seed=shared_seed,
+        )
+
+    @pytest.fixture(autouse=True)
+    def _no_trace_cache(self, monkeypatch):
+        from repro.sim.replay import clear_recorders
+        from repro.sim.warmstate import clear_snapshots
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        clear_recorders()
+        clear_snapshots()
+        yield
+        clear_recorders()
+        clear_snapshots()
+
+    def test_per_cell_seeds_without_cached_traces_warn(self):
+        with pytest.warns(UserWarning, match="shared_seed=True"):
+            self._sweep(shared_seed=False).run(fast=True)
+
+    def test_shared_seed_does_not_warn(self, recwarn):
+        self._sweep(shared_seed=True).run(fast=True)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_slow_mode_does_not_warn(self, recwarn):
+        self._sweep(shared_seed=False).run(fast=False)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
+
+    def test_cached_traces_suppress_the_warning(self, tmp_path, monkeypatch, recwarn):
+        from repro.sim.parallel import derive_cell_seed
+        from repro.sim.replay import TraceRecorder, clear_recorders
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        seed = derive_cell_seed(6, (64,))
+        recorder = TraceRecorder(TINY, seed)
+        recorder.ensure(80)
+        recorder.save_cache()
+        clear_recorders()
+        self._sweep(shared_seed=False).run(fast=True)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]

@@ -1,0 +1,289 @@
+"""Compressed boundary-trace codec: bit-exact round trips and corruption.
+
+The persistent trace cache stores boundary streams in the ``BTC1`` wire
+format (:mod:`repro.sim.trace`): run-length-encoded opcodes, zigzag-varint
+page-id deltas, then deflate.  Replay correctness rides on two properties
+these tests pin:
+
+* **losslessness** — ``decode_boundary(encode_boundary(ops, args))``
+  reconstructs both arrays verbatim, for every opcode kind, run shape,
+  delta sign/magnitude and payload value the recorder can produce;
+* **fail-closed corruption handling** — any malformed input raises
+  :class:`~repro.errors.TraceCodecError` (never garbage arrays), so the
+  cache loader treats a damaged file as absent.
+
+A final test records a real TINY workload and checks the compression
+ratio clears the acceptance floor (>= 3x over the raw array encoding)
+while the persisted file round-trips through the cache loader bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from array import array
+
+import pytest
+
+from repro.errors import TraceCodecError
+from repro.sim.trace import (
+    OP_ABORT,
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_READ,
+    OP_READ_DUP,
+    OP_TXEND,
+    OP_UPDATE,
+    PAYLOAD_BITS,
+    PAYLOAD_MASK,
+    boundary_checksum,
+    decode_boundary,
+    encode_boundary,
+    raw_boundary_bytes,
+)
+
+
+def _stream(events):
+    """Build (ops, args) arrays from [(op, operand-or-None), ...]."""
+    ops = array("B", [op for op, _ in events])
+    args = array("q", [arg for _, arg in events if arg is not None])
+    return ops, args
+
+
+def _round_trip(ops, args):
+    blob = encode_boundary(ops, args)
+    decoded_ops, decoded_args = decode_boundary(blob)
+    assert decoded_ops == ops
+    assert decoded_args == args
+    assert decoded_ops.typecode == "B" and decoded_args.typecode == "q"
+    assert boundary_checksum(decoded_ops, decoded_args) == boundary_checksum(
+        ops, args
+    )
+    return blob
+
+
+def _update(page, payload):
+    return (page << PAYLOAD_BITS) | payload
+
+
+class TestRoundTrip:
+    def test_empty_stream(self):
+        _round_trip(array("B"), array("q"))
+
+    def test_every_opcode_kind(self):
+        ops, args = _stream([
+            (OP_BEGIN, None),
+            (OP_READ, 7),
+            (OP_READ_DUP, None),
+            (OP_UPDATE, _update(9, 130)),
+            (OP_COMMIT, None),
+            (OP_TXEND, 3),
+            (OP_BEGIN, None),
+            (OP_READ, 100_000),
+            (OP_ABORT, None),
+            (OP_TXEND, 0),
+        ])
+        _round_trip(ops, args)
+
+    def test_long_runs_cross_the_escape_boundary(self):
+        # Inline run lengths stop at 30; 31+ escape to a varint.  Cover
+        # both sides of the boundary and a run long enough to need a
+        # multi-byte varint (> 31 + 127).
+        for run in (1, 30, 31, 32, 500):
+            ops, args = _stream(
+                [(OP_BEGIN, None)]
+                + [(OP_READ, page) for page in range(run)]
+                + [(OP_TXEND, run)]
+            )
+            _round_trip(ops, args)
+
+    def test_backward_and_giant_deltas(self):
+        # The delta layer must survive any jump the workload can make:
+        # backwards (index root after a heap page), zero (same page), and
+        # across the whole page space.
+        pages = [50_000, 50_001, 3, 3, 2**40, 1, 2**40 + 7]
+        ops, args = _stream(
+            [(OP_READ, page) for page in pages] + [(OP_TXEND, 1)]
+        )
+        _round_trip(ops, args)
+
+    def test_update_payload_extremes(self):
+        ops, args = _stream([
+            (OP_UPDATE, _update(12, 0)),
+            (OP_UPDATE, _update(12, PAYLOAD_MASK)),
+            (OP_UPDATE, _update(0, 1)),
+        ])
+        _round_trip(ops, args)
+
+    def test_read_dup_does_not_disturb_the_delta_chain(self):
+        # READ_DUP carries no operand and must leave previous_page alone;
+        # a codec bug here shifts every later page id.
+        ops, args = _stream([
+            (OP_READ, 500),
+            (OP_READ_DUP, None),
+            (OP_READ_DUP, None),
+            (OP_READ, 501),
+            (OP_UPDATE, _update(501, 64)),
+        ])
+        _round_trip(ops, args)
+
+    def test_compresses_typical_locality(self):
+        # A synthetic stream with workload-like locality (sequential
+        # descents, repeated opcodes) must beat the raw encoding by the
+        # acceptance floor even before a real trace is involved.
+        events = []
+        for tx in range(200):
+            events.append((OP_BEGIN, None))
+            base = 1000 + (tx % 10) * 64
+            for step in range(12):
+                events.append((OP_READ, base + step))
+            events.append((OP_UPDATE, _update(base + 3, 180)))
+            events.append((OP_COMMIT, None))
+            events.append((OP_TXEND, 2))
+        ops, args = _stream(events)
+        blob = _round_trip(ops, args)
+        assert raw_boundary_bytes(ops, args) >= 3 * len(blob)
+
+
+class TestCorruption:
+    def _good(self):
+        ops, args = _stream([
+            (OP_BEGIN, None),
+            (OP_READ, 41),
+            (OP_UPDATE, _update(42, 99)),
+            (OP_COMMIT, None),
+            (OP_TXEND, 2),
+        ])
+        return ops, args, encode_boundary(ops, args)
+
+    def test_magic_mismatch(self):
+        _, _, blob = self._good()
+        with pytest.raises(TraceCodecError, match="magic"):
+            decode_boundary(b"XXXX" + blob[4:])
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceCodecError, match="truncated varint"):
+            decode_boundary(b"BTC1" + b"\x80")
+
+    def test_corrupt_deflate_body(self):
+        _, _, blob = self._good()
+        with pytest.raises(TraceCodecError, match="corrupt"):
+            decode_boundary(blob[:-4] + b"\x00\x00\x00\x00")
+
+    def test_truncated_body(self):
+        ops, args, _ = self._good()
+        # Rebuild the container around a truncated (but valid-deflate)
+        # body so the failure happens in the section decoders.
+        blob = encode_boundary(ops, args)
+        n_ops_end = 4
+        while blob[n_ops_end] & 0x80:
+            n_ops_end += 1
+        n_ops_end += 1
+        while blob[n_ops_end] & 0x80:
+            n_ops_end += 1
+        n_ops_end += 1
+        body = zlib.decompress(blob[n_ops_end:])
+        truncated = blob[:n_ops_end] + zlib.compress(body[:-1], 6)
+        with pytest.raises(TraceCodecError):
+            decode_boundary(truncated)
+
+    def test_operand_count_mismatch_on_encode(self):
+        ops = array("B", [OP_READ, OP_READ])
+        args = array("q", [1])  # one operand short
+        with pytest.raises(TraceCodecError, match="operand count"):
+            encode_boundary(ops, args)
+        with pytest.raises(TraceCodecError, match="operand count"):
+            encode_boundary(array("B", [OP_BEGIN]), array("q", [1, 2]))
+
+    def test_unknown_opcode(self):
+        # Hand-build a container whose opcode section names opcode 7.
+        body = bytes([(1 << 3) | 7])
+        blob = b"BTC1" + bytes([1, 0]) + zlib.compress(body, 6)
+        with pytest.raises(TraceCodecError, match="unknown opcode"):
+            decode_boundary(blob)
+
+    def test_zero_length_run(self):
+        body = bytes([(0 << 3) | OP_BEGIN])
+        blob = b"BTC1" + bytes([1, 0]) + zlib.compress(body, 6)
+        with pytest.raises(TraceCodecError, match="zero-length"):
+            decode_boundary(blob)
+
+    def test_header_count_mismatch(self):
+        ops, args, blob = self._good()
+        # Same body, header promising one more operand.
+        rest = blob[4:]
+        n_ops, pos = rest[0], 1
+        n_args = rest[pos]
+        tampered = b"BTC1" + bytes([n_ops, n_args + 1]) + rest[pos + 1:]
+        with pytest.raises(TraceCodecError):
+            decode_boundary(tampered)
+
+
+class TestPersistedTrace:
+    """The cache round trip on a real recorded workload."""
+
+    @pytest.fixture(autouse=True)
+    def _hermetic(self, tmp_path, monkeypatch):
+        from repro.sim.replay import clear_recorders
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        clear_recorders()
+        yield
+        clear_recorders()
+
+    def _record(self, transactions=400):
+        from repro.sim.replay import TraceRecorder
+
+        from repro.tpcc.scale import TINY
+
+        recorder = TraceRecorder(TINY, seed=7)
+        trace = recorder.ensure(transactions)
+        return recorder, trace
+
+    def test_real_trace_hits_the_compression_floor(self):
+        _, trace = self._record()
+        blob = encode_boundary(trace.ops, trace.args)
+        assert raw_boundary_bytes(trace.ops, trace.args) >= 3 * len(blob)
+        decoded_ops, decoded_args = decode_boundary(blob)
+        assert decoded_ops == trace.ops
+        assert decoded_args == trace.args
+
+    def test_cache_round_trip_is_bit_exact(self, tmp_path):
+        from repro.sim.replay import (
+            TraceRecorder,
+            clear_recorders,
+            persisted_trace_stats,
+        )
+        from repro.tpcc.scale import TINY
+
+        recorder, trace = self._record()
+        recorder.save_cache()
+        stats = persisted_trace_stats(TINY, 7)
+        assert stats is not None
+        assert stats["n_transactions"] == trace.n_transactions
+        assert stats["raw_bytes"] >= 3 * stats["body_bytes"]
+
+        clear_recorders()
+        reloaded = TraceRecorder(TINY, seed=7).ensure(trace.n_transactions)
+        assert reloaded.ops == trace.ops
+        assert reloaded.args == trace.args
+
+    def test_corrupt_cache_file_falls_back_to_recording(self, tmp_path):
+        from repro.sim.replay import TraceRecorder, clear_recorders
+        from repro.tpcc.scale import TINY
+
+        recorder, trace = self._record(transactions=60)
+        recorder.save_cache()
+        (trace_file,) = tmp_path.glob("trace-*.bin")
+        raw = trace_file.read_bytes()
+        header, _, body = raw.partition(b"\n")
+        json.loads(header)  # header is JSON; body is the codec blob
+        trace_file.write_bytes(header + b"\n" + body[:-7] + b"\x00" * 7)
+
+        # The damaged file must be *transparent*: the loader detects the
+        # corruption, treats the cache as absent, and re-records — so the
+        # trace a fresh recorder serves is still bit-identical.
+        clear_recorders()
+        recovered = TraceRecorder(TINY, seed=7).ensure(60)
+        assert recovered.ops == trace.ops
+        assert recovered.args == trace.args
