@@ -11,15 +11,29 @@ i.e. a 77-85 % reduction, because >98 % of the pages redo needs are fetched
 from the (persistent) flash cache, and the metadata directory restore adds
 only ~2.5 s.  Checkpoint intervals scale with the simulated system; the
 crash is injected halfway through an interval, as in the paper.
+
+The {policy} x {interval} grid runs as :class:`CrashRecoveryScenario` cells
+through the parallel engine: every cell shares one ``(BENCH, 42)`` workload
+stream, so with ``REPRO_BENCH_FAST`` (the default) all six crash cells
+replay one recorded boundary trace — truncated at each cell's kill point —
+with bit-identical restart reports.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.sim.crashes import crash_mid_interval
-from repro.sim.runner import ExperimentRunner
+from repro.sim.parallel import CellSpec, run_cells
+from repro.sim.scenario import CrashRecoveryScenario
 from repro.tpcc.scale import BENCH
-from benchmarks.conftest import FULL_MODE, WARMUP_MAX, WARMUP_MIN, config_for, once
+from benchmarks.conftest import (
+    BENCH_FAST,
+    BENCH_JOBS,
+    FULL_MODE,
+    WARMUP_MAX,
+    WARMUP_MIN,
+    config_for,
+    once,
+)
 
 #: Checkpoint intervals in simulated seconds.  The paper used 60/120/180 s;
 #: the scaled system runs ~1000x less data, so intervals are scaled to keep
@@ -31,22 +45,33 @@ SERIES = ("FaCE+GSC", "HDD-only")
 _MAX_TX = 40_000 if FULL_MODE else 20_000
 
 
-def _crash_and_measure(policy: str, interval: float):
-    runner = ExperimentRunner(config_for(policy, CACHE_FRACTION), BENCH)
-    runner.warm_up(WARMUP_MIN, WARMUP_MAX)
-    return crash_mid_interval(
-        runner, interval, min_checkpoints=2, max_transactions=_MAX_TX
-    ).report
+def _crash_grid():
+    """Every (policy, interval) crash cell, through the parallel engine."""
+    specs = [
+        CellSpec(
+            key=(policy, interval),
+            config=config_for(policy, CACHE_FRACTION),
+            scale=BENCH,
+            seed=42,
+            scenario=CrashRecoveryScenario(
+                checkpoint_interval=interval,
+                max_transactions=_MAX_TX,
+                warmup_min=WARMUP_MIN,
+                warmup_max=WARMUP_MAX,
+            ),
+        )
+        for policy in SERIES
+        for interval in INTERVALS
+    ]
+    cells = run_cells(specs, jobs=BENCH_JOBS, fast=BENCH_FAST)
+    return {
+        policy: [cells[(policy, interval)].report for interval in INTERVALS]
+        for policy in SERIES
+    }
 
 
 def test_table6_restart_times(benchmark):
-    def run():
-        return {
-            policy: [_crash_and_measure(policy, i) for i in INTERVALS]
-            for policy in SERIES
-        }
-
-    reports = once(benchmark, run)
+    reports = once(benchmark, _crash_grid)
 
     print()
     print(

@@ -36,6 +36,12 @@ from repro.sim.experiment import ExperimentConfig
 from repro.sim.metrics import ThroughputSeries
 from repro.sim.parallel import CellSpec, run_cells
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
+from repro.sim.scenario import (
+    CrashRecoveryScenario,
+    CrashRun,
+    ScenarioResult,
+    SteadyStateScenario,
+)
 from repro.sim.sweep import Sweep, SweepResults
 from repro.tpcc.driver import TpccDriver
 from repro.tpcc.loader import TpccDatabase, load_tpcc
@@ -48,6 +54,8 @@ __all__ = [
     "AblationStudy",
     "CachePolicy",
     "CellSpec",
+    "CrashRecoveryScenario",
+    "CrashRun",
     "ExperimentConfig",
     "ExperimentRunner",
     "OBS",
@@ -57,7 +65,9 @@ __all__ = [
     "RestartReport",
     "RunResult",
     "ScaleProfile",
+    "ScenarioResult",
     "SimulatedDBMS",
+    "SteadyStateScenario",
     "Sweep",
     "SweepResults",
     "SystemConfig",

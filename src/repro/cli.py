@@ -8,9 +8,12 @@ Commands
 ``sweep``    cache-size sweep for one policy (Figure 4 style series)
 ``ablate``   replay-driven ablation grid over the paper's design knobs
              (admission, sync, scan depth, ...); prints per-axis
-             sensitivity tables (also ``--json``)
+             sensitivity tables (also ``--json``); ``--recovery`` makes
+             every cell a crash/restart measurement (Table 6 style)
 ``stats``    one measured run with observability on; prints every internal
-             metric plus the derived Table 3 figures (also ``--json``/``--csv``)
+             metric plus the derived Table 3 figures (also ``--json``/``--csv``);
+             ``--crash`` swaps in a crash/restart scenario and surfaces the
+             ``recovery.*`` metrics
 
 All output is plain text / markdown; every command is deterministic for a
 given ``--seed``.  ``run`` and ``sweep`` execute their independent cells in
@@ -27,9 +30,9 @@ from repro.analysis.report import restart_report_table, run_result_table
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import CachePolicy, scaled_reference_config
 from repro.flashcache.registry import available_policies, get_policy_entry
-from repro.recovery.restart import RecoveryManager
 from repro.sim.parallel import CellSpec, progress_printer, run_cells
 from repro.sim.runner import ExperimentRunner
+from repro.sim.scenario import CrashRecoveryScenario
 from repro.sim.sweep import Sweep
 from repro.storage.profiles import TABLE1_PROFILES
 from repro.tpcc.loader import estimate_db_pages
@@ -88,24 +91,28 @@ def cmd_run(args) -> int:
 
 
 def cmd_recover(args) -> int:
-    reports = []
-    for name in args.policies:
-        policy = _POLICY_NAMES[name]
-        runner = _build_runner(args, policy)
-        runner.warm_up()
-        dbms = runner.dbms
-        last, checkpoints, executed = 0.0, 0, 0
-        while executed < 60_000:
-            runner.driver.run_one()
-            executed += 1
-            wall = dbms.wall_clock()
-            if checkpoints >= 2 and wall - last >= args.interval / 2:
-                break
-            if wall - last >= args.interval:
-                dbms.checkpoint()
-                last, checkpoints = wall, checkpoints + 1
-        dbms.crash()
-        reports.append((runner.config.display_name, RecoveryManager(dbms).restart()))
+    scale = _scale(args.scale)
+    scenario = CrashRecoveryScenario(
+        checkpoint_interval=args.interval,
+        crash_point=args.crash_point,
+        warmup_max=50_000,
+    )
+    specs = [
+        CellSpec(
+            key=(name,),
+            config=scaled_reference_config(
+                estimate_db_pages(scale),
+                cache_fraction=args.cache_fraction,
+                policy=_POLICY_NAMES[name],
+            ),
+            scale=scale,
+            seed=args.seed,
+            scenario=scenario,
+        )
+        for name in args.policies
+    ]
+    cells = run_cells(specs, jobs=args.jobs, fast=args.fast)
+    reports = [(crash.name, crash.report) for crash in cells.values()]
     print(restart_report_table(reports, title="Crash + restart"))
     return 0
 
@@ -156,6 +163,45 @@ def cmd_stats(args) -> int:
         runner = ReplayRunner(config, get_recorder(scale, args.seed))
     else:
         runner = _build_runner(args, policy)
+
+    if args.crash:
+        # Crash mode: run the Section 5.5 schedule instead of a steady
+        # measurement and report the restart, not Table 3.
+        scenario = CrashRecoveryScenario(
+            checkpoint_interval=args.interval, warmup_max=50_000
+        )
+        crash = scenario.execute(runner)
+        if args.fast:
+            save_recorded_traces()
+        snap = OBS.snapshot()
+        if args.json:
+            print(snap.to_json())
+            return 0
+        if args.csv:
+            rows = snap.to_csv(args.csv)
+            print(f"wrote {rows} metrics to {args.csv}", file=sys.stderr)
+        print(restart_report_table([(crash.name, crash.report)],
+                                   title="Crash + restart"))
+        flat = snap.as_flat()
+        recovery_rows = [
+            (name, f"{flat[name]:g}")
+            for name in sorted(flat) if name.startswith("recovery.")
+        ]
+        if recovery_rows:
+            print(format_table(
+                "Recovery metrics",
+                ["metric", "value"],
+                recovery_rows,
+                width=44,
+            ))
+        print(format_table(
+            "All metrics (measured region)",
+            ["metric", "value"],
+            [(name, f"{flat[name]:g}") for name in sorted(flat)],
+            width=44,
+        ))
+        return 0
+
     runner.warm_up(max_transactions=50_000)  # warm_up resets OBS at the boundary
     result = runner.measure(args.transactions)
     if args.fast:
@@ -272,6 +318,11 @@ def cmd_ablate(args) -> int:
         cache_fraction=args.cache_fraction,
         measure_transactions=args.transactions,
         warmup_max=50_000,
+        # --recovery turns every cell into a Section 5.5 crash/restart
+        # measurement; axes like checkpoint_interval / crash_point /
+        # ckpt_segment_entries then vary the recovery protocol itself.
+        scenario="crash" if args.recovery else "steady",
+        checkpoint_interval=args.interval if args.recovery else None,
     )
     axes: dict[str, list | None] = {}
     for token in args.axes:
@@ -341,6 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("policies", nargs="+", choices=sorted(_POLICY_NAMES))
     recover.add_argument("--interval", type=float, default=2.0,
                          help="checkpoint interval in simulated seconds")
+    recover.add_argument("--crash-point", dest="crash_point", type=float,
+                         default=0.5,
+                         help="where in an interval the kill lands, as a "
+                              "fraction (default 0.5, the paper's mid-point)")
+    recover.add_argument("--fast", action="store_true",
+                         help="run the crash schedule over the trace-replay "
+                              "fast path (bit-identical restart reports)")
     recover.set_defaults(func=cmd_recover)
 
     devices = sub.add_parser("devices", help="device-model microbenchmark")
@@ -389,6 +447,13 @@ def build_parser() -> argparse.ArgumentParser:
     ablate.add_argument("--no-fast", action="store_true",
                         help="full-execute every cell instead of replaying "
                              "the shared boundary trace")
+    ablate.add_argument("--recovery", action="store_true",
+                        help="run every cell as a crash/restart measurement "
+                             "(Table 6 style); sensitivities reduce restart "
+                             "time instead of tpmC")
+    ablate.add_argument("--interval", type=float, default=2.0,
+                        help="base checkpoint interval for --recovery cells "
+                             "in simulated seconds (default 2.0)")
     ablate.set_defaults(func=cmd_ablate)
 
     stats = sub.add_parser(
@@ -403,6 +468,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--fast", action="store_true",
                        help="measure via the trace-replay fast path and "
                             "surface its replay.* metrics")
+    stats.add_argument("--crash", action="store_true",
+                       help="run a crash/restart scenario instead of a "
+                            "steady measurement and surface the recovery.* "
+                            "metrics")
+    stats.add_argument("--interval", type=float, default=2.0,
+                       help="checkpoint interval for --crash in simulated "
+                            "seconds (default 2.0)")
     stats.set_defaults(func=cmd_stats)
     return parser
 

@@ -23,6 +23,12 @@ Restart time is the *sum* of the resource time consumed by these phases —
 recovery is a single serial thread, unlike normal processing where 50
 clients overlap the devices (which is why normal wall-clock uses the
 bottleneck maximum instead).
+
+Restarts work on trace-replayed systems too (crash cells on the fast
+path): sized/replayed update records redo as a pageLSN stamp — see
+:data:`_UPDATE_LIKE` — which keeps every report field bit-identical to a
+full execution of the same cell.  With observability enabled each restart
+is also published to the ``recovery.*`` metric namespace.
 """
 
 from __future__ import annotations
@@ -37,8 +43,21 @@ from repro.wal.records import (
     BeginRecord,
     CheckpointRecord,
     CommitRecord,
+    ReplayUpdateRecord,
     UpdateRecord,
 )
+
+#: Record types the redo scan treats as updates.  Trace-replayed systems
+#: log :class:`~repro.wal.records.SizedUpdateRecord` /
+#: :class:`~repro.wal.records.ReplayUpdateRecord` — same LSNs, page ids,
+#: byte sizes and full-page images as the originals, but no row images
+#: (``slot is None`` / no ``slot`` attribute).  Redo handles them with a
+#: pageLSN stamp instead of a slot write: row contents are untimed
+#: simulation state, and every timed step (page fetch path, LSN compare,
+#: FPW install, dirty flags) is driven identically — which is what keeps a
+#: replayed restart's :class:`RestartReport` bit-identical to full
+#: execution (DESIGN.md §11).
+_UPDATE_LIKE = (UpdateRecord, ReplayUpdateRecord)
 
 
 @dataclass
@@ -124,7 +143,7 @@ class RecoveryManager:
         cache_stats = dbms.cache.stats
         hits_before, lookups_before = cache_stats.hits, cache_stats.lookups
         for record in replay:
-            if not isinstance(record, UpdateRecord):
+            if not isinstance(record, _UPDATE_LIKE):
                 continue
             if record.page_image is not None:
                 # Full-page write: install straight from the log — no base
@@ -138,10 +157,17 @@ class RecoveryManager:
             if frame.page.lsn >= record.lsn:
                 report.redo_skipped += 1
                 continue
-            if record.after is None:
-                frame.page.delete(record.slot, record.lsn)
+            slot = getattr(record, "slot", None)
+            if slot is None:
+                # Sized/replayed record: no row images travelled with it.
+                # Stamping the pageLSN is the entire redo effect — content
+                # is untimed, and the stamp is exactly what put/delete do
+                # to the page header.
+                frame.page.stamp(record.lsn)
+            elif record.after is None:
+                frame.page.delete(slot, record.lsn)
             else:
-                frame.page.put(record.slot, record.after, record.lsn)
+                frame.page.put(slot, record.after, record.lsn)
             # Redo does not relog; the page is now newer than both
             # non-volatile copies, exactly as a fresh update would be.
             frame.dirty = True
@@ -164,10 +190,20 @@ class RecoveryManager:
                 loser_updates = [
                     r
                     for r in records
-                    if isinstance(r, UpdateRecord) and r.txid in losers
+                    if isinstance(r, _UPDATE_LIKE) and r.txid in losers
                 ]
                 recovery_tx = dbms.begin()
                 for record in reversed(loser_updates):
+                    if getattr(record, "slot", None) is None:
+                        # A sized/replayed record carries no before-image to
+                        # compensate with.  It can never be a loser in
+                        # practice — every replayed transaction ends at a
+                        # commit/abort boundary, which forces the log — so
+                        # reaching here means the protocol was violated.
+                        raise RecoveryError(
+                            "cannot undo a sized/replayed update record "
+                            f"(lsn {record.lsn}): no before-image was logged"
+                        )
                     dbms.update_slot_tx(
                         recovery_tx, record.page_id, record.slot, record.before
                     )
@@ -183,7 +219,31 @@ class RecoveryManager:
         report.phase_times["checkpoint"] = self._elapsed() - mark
 
         report.total_time = self._elapsed() - start
+        if OBS.enabled:
+            self._publish(report)
         return report
+
+    @staticmethod
+    def _publish(report: RestartReport) -> None:
+        """Mirror the report into the ``recovery.*`` metric namespace.
+
+        Counters accumulate across restarts (a grid of crash cells sums
+        naturally); the gauges hold the most recent restart's headline
+        figures; the histogram buckets restart wall time.  ``python -m
+        repro stats --crash`` renders this namespace as a table.
+        """
+        OBS.counter("recovery.restarts").inc()
+        OBS.counter("recovery.log.records_scanned").inc(report.log_records_scanned)
+        OBS.counter("recovery.redo.applied").inc(report.redo_applied)
+        OBS.counter("recovery.redo.skipped").inc(report.redo_skipped)
+        OBS.counter("recovery.fpw.installed").inc(report.fpw_installed)
+        OBS.counter("recovery.undo.applied").inc(report.undo_applied)
+        OBS.gauge("recovery.flash_read_fraction").set(report.flash_read_fraction)
+        OBS.gauge("recovery.cache_survived").set(float(report.cache_survived))
+        OBS.gauge("recovery.metadata.restore_seconds").set(
+            report.metadata_restore_time
+        )
+        OBS.histogram("recovery.restart.seconds").observe(report.total_time)
 
     def _install_full_page(self, record: UpdateRecord) -> bool:
         """Install a logged full-page image; returns False if already newer.

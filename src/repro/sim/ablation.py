@@ -46,6 +46,7 @@ from repro.flashcache.registry import available_policies
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.parallel import CellProgress, CellSpec, run_cell, run_cells
 from repro.sim.runner import RunResult
+from repro.sim.scenario import CrashRun, ScenarioResult
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,22 @@ AXES: dict[str, AblationAxis] = {
             values=("lru", "clock"),
             paper="§2",
             description="DRAM buffer replacement policy",
+        ),
+        AblationAxis(
+            name="crash_point",
+            field="crash_point",
+            values=(0.25, 0.5, 0.75),
+            paper="§5.5",
+            description="where in a checkpoint interval the kill lands "
+            "(the paper crashes at the mid-point)",
+        ),
+        AblationAxis(
+            name="ckpt_segment",
+            field="ckpt_segment_entries",
+            values=(32, 64, 128),
+            paper="§4.2",
+            description="flash metadata-checkpoint segment size "
+            "(mvFIFO entries per segment)",
         ),
     )
 }
@@ -244,25 +261,51 @@ class AblationStudy:
 
 @dataclass
 class AblationResults:
-    """A completed grid plus its per-axis marginal reductions."""
+    """A completed grid plus its per-axis marginal reductions.
+
+    Works for both result kinds: a steady grid holds
+    :class:`~repro.sim.runner.RunResult` cells and defaults its reductions
+    to throughput metrics; a crash grid (base experiment with
+    ``scenario="crash"``) holds :class:`~repro.sim.scenario.CrashRun` cells
+    and defaults to the Table 6 restart metrics.
+    """
 
     study: AblationStudy
-    cells: dict[tuple, RunResult]
+    cells: dict[tuple, ScenarioResult]
     #: Harness (host) seconds for the whole grid, recording included.
     wall_seconds: float = 0.0
 
-    def get(self, *key) -> RunResult:
+    def get(self, *key) -> ScenarioResult:
         return self.cells[tuple(key)]
 
+    @property
+    def is_crash(self) -> bool:
+        """True when the grid's cells are crash/restart measurements."""
+        return any(isinstance(r, CrashRun) for r in self.cells.values())
+
+    @property
+    def default_metric(self) -> str:
+        return "restart_seconds" if self.is_crash else "tpmc"
+
+    @property
+    def default_metrics(self) -> tuple[str, ...]:
+        if self.is_crash:
+            return ("restart_seconds", "flash_read_fraction", "redo_applied")
+        return ("tpmc", "flash_hit_rate", "write_reduction")
+
     def sensitivity(
-        self, axis: str, metric: str = "tpmc"
+        self, axis: str, metric: str | None = None
     ) -> list[tuple[object, float, float, float, int]]:
         """Marginal statistics of ``metric`` along one axis.
 
         For each axis value: ``(value, mean, min, max, n)`` over every grid
         cell holding that value — i.e. averaged across all settings of the
         *other* axes, the standard main-effect view of a dense grid.
+        ``metric=None`` uses :attr:`default_metric` (throughput for steady
+        grids, restart time for crash grids).
         """
+        if metric is None:
+            metric = self.default_metric
         if axis not in self.study.axes:
             raise ConfigError(
                 f"unknown axis {axis!r} (study axes: {', '.join(self.study.axes)})"
@@ -281,7 +324,7 @@ class AblationResults:
             )
         return out
 
-    def spread(self, axis: str, metric: str = "tpmc") -> float:
+    def spread(self, axis: str, metric: str | None = None) -> float:
         """Relative main-effect size: (best - worst) / worst of the
         marginal means — the one-number "does this knob matter" figure."""
         means = [mean for _, mean, _, _, _ in self.sensitivity(axis, metric)]
@@ -291,9 +334,11 @@ class AblationResults:
     def sensitivity_table(
         self,
         axis: str,
-        metrics: Sequence[str] = ("tpmc", "flash_hit_rate", "write_reduction"),
+        metrics: Sequence[str] | None = None,
     ) -> str:
         """Paper-style fixed-width table of one axis's marginal means."""
+        if metrics is None:
+            metrics = self.default_metrics
         ax = self.study.axes[axis] if axis in self.study.axes else resolve_axis(axis)
         rows = []
         per_metric = {m: self.sensitivity(axis, m) for m in metrics}
@@ -301,7 +346,14 @@ class AblationResults:
             row: list[object] = [ax.label(value)]
             for metric in metrics:
                 _, mean, lo, hi, _ = per_metric[metric][index]
-                row.append(round(mean, 1) if metric == "tpmc" else round(mean, 4))
+                # Pre-format: counts and throughput at one decimal, rates
+                # and restart times at four (the table renderer would
+                # otherwise flatten 0.0347 s to "0.0").
+                row.append(
+                    f"{mean:,.1f}"
+                    if metric in ("tpmc", "redo_applied")
+                    else f"{mean:.4f}"
+                )
             rows.append(row)
         n_other = len(self.cells) // max(1, len(self.study.values[axis]))
         title = (
@@ -310,9 +362,31 @@ class AblationResults:
         )
         return format_table(title, [ax.name, *metrics], rows, width=16)
 
+    def _cell_record(self, key: tuple, result: ScenarioResult) -> dict:
+        if isinstance(result, CrashRun):
+            return {
+                "key": list(key),
+                "restart_seconds": round(result.restart_seconds, 6),
+                "redo_applied": result.redo_applied,
+                "flash_read_fraction": round(result.flash_read_fraction, 6),
+                "transactions_before_crash": result.transactions_before_crash,
+                "checkpoints_before_crash": result.checkpoints_before_crash,
+                "crash_wall_seconds": round(result.crash_wall_seconds, 4),
+            }
+        return {
+            "key": list(key),
+            "tpmc": round(result.tpmc, 2),
+            "flash_hit_rate": round(result.flash_hit_rate, 6),
+            "write_reduction": round(result.write_reduction, 6),
+            "dram_hit_rate": round(result.dram_hit_rate, 6),
+            "sim_wall_seconds": round(result.wall_seconds, 4),
+        }
+
     def to_record(self) -> dict:
-        """JSON-able record (the payload of ``BENCH_ablation.json``)."""
+        """JSON-able record (the payload of ``BENCH_ablation.json`` /
+        ``BENCH_recovery.json``)."""
         study = self.study
+        metric = self.default_metric
         return {
             "base": study.base.describe(),
             "seed": study.base.seed,
@@ -321,24 +395,18 @@ class AblationResults:
             "wall_seconds": round(self.wall_seconds, 3),
             "wall_seconds_per_cell": round(self.wall_seconds / len(self.cells), 4)
             if self.cells else 0.0,
+            "metric": metric,
             "cells": [
-                {
-                    "key": list(key),
-                    "tpmc": round(result.tpmc, 2),
-                    "flash_hit_rate": round(result.flash_hit_rate, 6),
-                    "write_reduction": round(result.write_reduction, 6),
-                    "dram_hit_rate": round(result.dram_hit_rate, 6),
-                    "sim_wall_seconds": round(result.wall_seconds, 4),
-                }
+                self._cell_record(key, result)
                 for key, result in self.cells.items()
             ],
             "sensitivity": {
                 name: [
                     {
                         "value": value,
-                        "mean_tpmc": round(mean, 2),
-                        "min_tpmc": round(lo, 2),
-                        "max_tpmc": round(hi, 2),
+                        f"mean_{metric}": round(mean, 6),
+                        f"min_{metric}": round(lo, 6),
+                        f"max_{metric}": round(hi, 6),
                         "n": n,
                     }
                     for value, mean, lo, hi, n in self.sensitivity(name)
@@ -351,8 +419,8 @@ class AblationResults:
         }
 
 
-def _comparable(result: RunResult) -> dict:
-    """A RunResult as plain data, minus ``obs`` (the ``replay.*`` namespace
+def _comparable(result: ScenarioResult) -> dict:
+    """A result as plain data, minus ``obs`` (the ``replay.*`` namespace
     describes the machinery, not the system under measurement)."""
     data = dataclasses.asdict(result)
     data.pop("obs")

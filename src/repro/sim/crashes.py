@@ -1,29 +1,38 @@
-"""Crash scheduling helpers for recovery experiments.
+"""Crash scheduling helpers for recovery experiments (deprecated shims).
 
 The paper's protocol (Section 5.5): run with a fixed checkpoint interval
-and issue the kill at the *mid-point* of a checkpoint interval.  This
-module packages that loop so benchmarks, examples and tests share one
-implementation.
+and issue the kill at the *mid-point* of a checkpoint interval.  That loop
+now lives in :mod:`repro.sim.scenario` as
+:class:`~repro.sim.scenario.CrashRecoveryScenario`, which every engine
+(``run_cells``, sweeps, ablations, the replay fast path) can execute like
+any other cell.  This module keeps the historical entry points alive:
+
+* :func:`run_until_mid_interval` — the mid-point special case of
+  :func:`~repro.sim.scenario.run_until_crash_point`.  It now **raises**
+  when ``max_transactions`` is exhausted before the scheduled kill, so a
+  benchmark grid can never silently record a "crash" that did not follow
+  the Section 5.5 schedule (it used to return quietly).
+* :func:`crash_mid_interval` — a thin deprecation shim over
+  :meth:`CrashRecoveryScenario.run_measured`; prefer building the scenario
+  (or an :class:`~repro.sim.experiment.ExperimentConfig` with
+  ``scenario="crash"``) directly.
+
+:class:`~repro.sim.scenario.CrashRun` is re-exported here unchanged for
+pre-scenario imports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.errors import ConfigError
-from repro.obs import OBS
-from repro.recovery.restart import RecoveryManager, RestartReport
 from repro.sim.runner import ExperimentRunner
+from repro.sim.scenario import (
+    CrashRecoveryScenario,
+    CrashRun,
+    run_until_crash_point,
+)
 
-
-@dataclass(frozen=True)
-class CrashRun:
-    """What happened before and after one scheduled crash."""
-
-    transactions_before_crash: int
-    checkpoints_before_crash: int
-    crash_wall_seconds: float
-    report: RestartReport
+__all__ = ["CrashRun", "run_until_mid_interval", "crash_mid_interval"]
 
 
 def run_until_mid_interval(
@@ -35,29 +44,17 @@ def run_until_mid_interval(
     """Drive the workload with periodic checkpoints until the mid-point of
     an interval after at least ``min_checkpoints`` checkpoints.
 
-    Returns ``(transactions executed, checkpoints taken)``.  The caller
-    owns the crash itself.
+    Returns ``(transactions executed, checkpoints taken)``; the caller owns
+    the crash itself.  Raises :class:`~repro.errors.ConfigError` when
+    ``max_transactions`` runs out before the schedule's kill point.
     """
-    if checkpoint_interval <= 0:
-        raise ConfigError("checkpoint_interval must be positive")
-    dbms = runner.dbms
-    last_checkpoint = 0.0
-    checkpoints = 0
-    executed = 0
-    while executed < max_transactions:
-        runner.driver.run_one()
-        executed += 1
-        wall = dbms.wall_clock()
-        if (
-            checkpoints >= min_checkpoints
-            and wall - last_checkpoint >= checkpoint_interval / 2
-        ):
-            break
-        if wall - last_checkpoint >= checkpoint_interval:
-            dbms.checkpoint()
-            last_checkpoint = wall
-            checkpoints += 1
-    return executed, checkpoints
+    return run_until_crash_point(
+        runner,
+        checkpoint_interval,
+        min_checkpoints=min_checkpoints,
+        crash_point=0.5,
+        max_transactions=max_transactions,
+    )
 
 
 def crash_mid_interval(
@@ -66,30 +63,24 @@ def crash_mid_interval(
     min_checkpoints: int = 2,
     max_transactions: int = 60_000,
 ) -> CrashRun:
-    """The full Section 5.5 protocol: run, kill mid-interval, restart."""
-    executed, checkpoints = run_until_mid_interval(
-        runner, checkpoint_interval, min_checkpoints, max_transactions
+    """The full Section 5.5 protocol: run, kill mid-interval, restart.
+
+    .. deprecated::
+        Build a :class:`~repro.sim.scenario.CrashRecoveryScenario` (or an
+        ``ExperimentConfig(scenario="crash", ...)`` cell) instead; this
+        shim assumes the caller already warmed the runner up, exactly as
+        the historical function did.
+    """
+    warnings.warn(
+        "crash_mid_interval is deprecated; use "
+        "repro.sim.scenario.CrashRecoveryScenario (or an ExperimentConfig "
+        "with scenario='crash') instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    wall = runner.dbms.wall_clock()
-    OBS.trace(
-        "sim.crash",
-        sim_time=wall,
-        transactions=executed,
-        checkpoints=checkpoints,
-        policy=runner.dbms.cache.name,
+    scenario = CrashRecoveryScenario(
+        checkpoint_interval=checkpoint_interval,
+        min_checkpoints=min_checkpoints,
+        max_transactions=max_transactions,
     )
-    runner.dbms.crash()
-    report = RecoveryManager(runner.dbms).restart()
-    OBS.trace(
-        "sim.recovered",
-        sim_time=wall + report.total_time,
-        restart_seconds=report.total_time,
-        redo_applied=report.redo_applied,
-        flash_read_fraction=report.flash_read_fraction,
-    )
-    return CrashRun(
-        transactions_before_crash=executed,
-        checkpoints_before_crash=checkpoints,
-        crash_wall_seconds=wall,
-        report=report,
-    )
+    return scenario.run_measured(runner)

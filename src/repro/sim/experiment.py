@@ -84,12 +84,42 @@ class ExperimentConfig:
     checkpoint_interval: float | None = None
     collect_obs: bool = False
 
+    # -- recovery protocol (scenario="crash", Section 5.5 / Table 6) ---------
+    #: Which run protocol this experiment uses: ``"steady"`` measures
+    #: steady-state throughput, ``"crash"`` runs the Section 5.5 crash /
+    #: restart schedule (requires ``checkpoint_interval``).
+    scenario: str = "steady"
+    #: Where in a checkpoint interval the kill lands (paper: the mid-point).
+    crash_point: float = 0.5
+    #: Safety bound on the crash schedule; exhausting it raises.
+    crash_max_transactions: int = 60_000
+    #: Override the flash cache's metadata-checkpoint segment size
+    #: (``SystemConfig.segment_entries``); ``None`` keeps the scaled
+    #: default.  Smaller segments checkpoint mapping metadata more often —
+    #: a recovery-side knob, hence the ``ckpt_`` prefix.
+    ckpt_segment_entries: int | None = None
+
     def __post_init__(self) -> None:
         resolve_policy(self.policy)  # fail fast on unknown names
         if self.measure_transactions < 1:
             raise ConfigError("measure_transactions must be >= 1")
         if not 0.0 < self.cache_fraction <= 1.0:
             raise ConfigError("cache_fraction must be within (0, 1]")
+        if self.scenario not in ("steady", "crash"):
+            raise ConfigError(
+                f"scenario must be 'steady' or 'crash', got {self.scenario!r}"
+            )
+        if self.scenario == "crash" and self.checkpoint_interval is None:
+            raise ConfigError(
+                "a crash experiment needs a checkpoint_interval "
+                "(the Section 5.5 schedule is defined by its cadence)"
+            )
+        if not 0.0 < self.crash_point < 1.0:
+            raise ConfigError("crash_point must be within (0, 1)")
+        if self.crash_max_transactions < 1:
+            raise ConfigError("crash_max_transactions must be >= 1")
+        if self.ckpt_segment_entries is not None and self.ckpt_segment_entries < 1:
+            raise ConfigError("ckpt_segment_entries must be >= 1 when set")
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """Return a derived config; unknown field names raise.
@@ -110,12 +140,40 @@ class ExperimentConfig:
 
     def system_config(self) -> SystemConfig:
         """Lower to the :class:`SystemConfig` this experiment runs on."""
-        return scaled_reference_config(
+        config = scaled_reference_config(
             _db_pages(self.scale),
             cache_fraction=self.cache_fraction,
             buffer_fraction=self.buffer_fraction,
             policy=resolve_policy(self.policy),
             **{name: getattr(self, name) for name in _SYSTEM_FIELDS},
+        )
+        if self.ckpt_segment_entries is not None:
+            # ``scaled_reference_config`` already passes its scaled
+            # ``segment_entries``; replace after the fact rather than
+            # colliding with that keyword.
+            config = dataclasses.replace(
+                config, segment_entries=self.ckpt_segment_entries
+            )
+        return config
+
+    def build_scenario(self):
+        """The run protocol this experiment describes (see
+        :mod:`repro.sim.scenario`)."""
+        from repro.sim.scenario import CrashRecoveryScenario, SteadyStateScenario
+
+        if self.scenario == "crash":
+            return CrashRecoveryScenario(
+                checkpoint_interval=self.checkpoint_interval,
+                crash_point=self.crash_point,
+                max_transactions=self.crash_max_transactions,
+                warmup_min=self.warmup_min,
+                warmup_max=self.warmup_max,
+            )
+        return SteadyStateScenario(
+            measure_transactions=self.measure_transactions,
+            warmup_min=self.warmup_min,
+            warmup_max=self.warmup_max,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
     def describe(self) -> str:

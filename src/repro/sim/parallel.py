@@ -45,6 +45,11 @@ from repro.core.config import SystemConfig
 from repro.errors import ConfigError
 from repro.obs import OBS
 from repro.sim.runner import ExperimentRunner, RunResult
+from repro.sim.scenario import (
+    CrashRecoveryScenario,
+    ScenarioResult,
+    SteadyStateScenario,
+)
 from repro.tpcc.scale import ScaleProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -77,8 +82,26 @@ class CellSpec:
     #: recorded *above* the buffer pool, so replays are bit-identical for
     #: every config — set this ``False`` only to force a cell through full
     #: execution (e.g. when the cell is itself a recording donor you want
-    #: to cross-check, or a protocol outside steady-state measurement).
+    #: to cross-check).
     replay_ok: bool = True
+    #: The run protocol for this cell.  ``None`` (the default, and the
+    #: historical behaviour) resolves to a :class:`SteadyStateScenario`
+    #: built from the measurement fields above; a
+    #: :class:`CrashRecoveryScenario` turns the cell into a Table 6
+    #: crash/restart measurement returning a
+    #: :class:`~repro.sim.scenario.CrashRun`.
+    scenario: SteadyStateScenario | CrashRecoveryScenario | None = None
+
+    def resolve_scenario(self) -> SteadyStateScenario | CrashRecoveryScenario:
+        """The scenario this cell executes (defaulting to steady state)."""
+        if self.scenario is not None:
+            return self.scenario
+        return SteadyStateScenario(
+            measure_transactions=self.measure_transactions,
+            warmup_min=self.warmup_min,
+            warmup_max=self.warmup_max,
+            checkpoint_interval=self.checkpoint_interval,
+        )
 
     @classmethod
     def from_config(
@@ -103,6 +126,14 @@ class CellSpec:
             warmup_max=experiment.warmup_max,
             checkpoint_interval=experiment.checkpoint_interval,
             collect_obs=experiment.collect_obs,
+            # Steady experiments leave ``scenario=None`` so the spec's own
+            # measurement fields (including any ``overrides``) stay
+            # authoritative; crash experiments carry their protocol along.
+            scenario=(
+                None
+                if experiment.scenario == "steady"
+                else experiment.build_scenario()
+            ),
         )
         params.update(overrides)
         return cls(**params)
@@ -115,7 +146,7 @@ class CellProgress:
     completed: int
     total: int
     key: tuple
-    result: RunResult
+    result: ScenarioResult
     #: Real (harness) seconds since the sweep started.
     elapsed_seconds: float
 
@@ -134,24 +165,24 @@ def derive_cell_seed(seed: int, key: tuple) -> int:
 
 def _execute_cell(
     spec: CellSpec, make_runner: Callable[[], ExperimentRunner]
-) -> RunResult:
-    """Shared cell protocol: obs bracket, warm-up, measure, snapshot.
+) -> ScenarioResult:
+    """Shared cell protocol: obs bracket, then the spec's scenario.
 
-    With ``collect_obs`` the global registry is cleared before the cell and
-    snapshotted after it, so every snapshot names exactly the metrics this
-    cell touched — identical whether the cell ran in-process or in a pool
-    worker (fresh registry either way).  The prior enabled state is
-    restored afterwards so mixed sweeps behave.
+    The scenario (steady-state measurement or crash/restart — see
+    :mod:`repro.sim.scenario`) owns the warm-up and the run; this wrapper
+    owns the observability bracket.  With ``collect_obs`` the global
+    registry is cleared before the cell and snapshotted after it, so every
+    snapshot names exactly the metrics this cell touched — identical
+    whether the cell ran in-process or in a pool worker (fresh registry
+    either way).  The prior enabled state is restored afterwards so mixed
+    sweeps behave.
     """
     obs_was_enabled = OBS.enabled
     if spec.collect_obs:
         OBS.clear()
         OBS.enable()
     runner = make_runner()
-    runner.warm_up(spec.warmup_min, spec.warmup_max)
-    result = runner.measure(
-        spec.measure_transactions, checkpoint_interval=spec.checkpoint_interval
-    )
+    result = spec.resolve_scenario().execute(runner)
     if spec.collect_obs:
         result.obs = OBS.snapshot()
         if not obs_was_enabled:
@@ -159,14 +190,14 @@ def _execute_cell(
     return result
 
 
-def run_cell(spec: CellSpec) -> RunResult:
+def run_cell(spec: CellSpec) -> ScenarioResult:
     """Execute one cell start-to-finish (module-level: the worker target)."""
     return _execute_cell(
         spec, lambda: ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
     )
 
 
-def run_cell_warm(spec: CellSpec) -> RunResult:
+def run_cell_warm(spec: CellSpec) -> ScenarioResult:
     """Like :func:`run_cell`, but load the database from a warm-state fork.
 
     The per-process snapshot memo in :mod:`repro.sim.warmstate` means a
@@ -213,10 +244,10 @@ def ensure_picklable(specs: Sequence[CellSpec]) -> None:
 def run_cells(
     specs: Sequence[CellSpec],
     jobs: int | None = 1,
-    on_cell: Callable[[tuple, RunResult], None] | None = None,
+    on_cell: Callable[[tuple, ScenarioResult], None] | None = None,
     progress: Callable[[CellProgress], None] | None = None,
     fast: bool = False,
-) -> dict[tuple, RunResult]:
+) -> dict[tuple, ScenarioResult]:
     """Run every cell; return ``{key: result}`` in the order of ``specs``.
 
     ``jobs=1`` (the default) runs in-process; ``jobs>1`` uses a process
@@ -243,16 +274,16 @@ def run_cells(
 def _run_cells(
     specs: Sequence[CellSpec],
     jobs: int | None,
-    on_cell: Callable[[tuple, RunResult], None] | None,
+    on_cell: Callable[[tuple, ScenarioResult], None] | None,
     progress: Callable[[CellProgress], None] | None,
-    worker: Callable[[CellSpec], RunResult],
-) -> dict[tuple, RunResult]:
+    worker: Callable[[CellSpec], ScenarioResult],
+) -> dict[tuple, ScenarioResult]:
     """Full-execution engine, parameterised by the module-level worker."""
     jobs = resolve_jobs(jobs)
     start = time.perf_counter()
-    results: dict[tuple, RunResult] = {}
+    results: dict[tuple, ScenarioResult] = {}
 
-    def gather(spec: CellSpec, result: RunResult) -> None:
+    def gather(spec: CellSpec, result: ScenarioResult) -> None:
         results[spec.key] = result
         if on_cell is not None:
             on_cell(spec.key, result)
@@ -320,9 +351,9 @@ def _run_cells(
 def _run_cells_fast(
     specs: Sequence[CellSpec],
     jobs: int | None,
-    on_cell: Callable[[tuple, RunResult], None] | None,
+    on_cell: Callable[[tuple, ScenarioResult], None] | None,
     progress: Callable[[CellProgress], None] | None,
-) -> dict[tuple, RunResult]:
+) -> dict[tuple, ScenarioResult]:
     """Trace-replay engine: record once per ``(scale, seed)``, replay per cell.
 
     Partitioning: a cell replays when it allows it (``replay_ok``) and the
@@ -365,7 +396,7 @@ def _run_cells_fast(
         else:
             executed.append(spec)
 
-    results: dict[tuple, RunResult] = {}
+    results: dict[tuple, ScenarioResult] = {}
     if executed:
         results.update(_run_cells(executed, jobs, None, None, run_cell_warm))
     for spec in replayed:
@@ -376,7 +407,7 @@ def _run_cells_fast(
         OBS.counter("replay.fallbacks").inc(len(executed))
     save_recorded_traces()
 
-    ordered: dict[tuple, RunResult] = {}
+    ordered: dict[tuple, ScenarioResult] = {}
     for index, spec in enumerate(specs):
         result = results[spec.key]
         ordered[spec.key] = result
@@ -398,16 +429,23 @@ def _run_cells_fast(
 def progress_printer(stream: TextIO | None = None) -> Callable[[CellProgress], None]:
     """A ready-made ``progress`` callback: one status line per finished cell.
 
-    Prints cells-completed, the cell key, its throughput, and wall-clock
-    elapsed — enough to watch a long grid from a terminal::
+    Prints cells-completed, the cell key, the cell's headline figure
+    (throughput for steady cells, restart time for crash cells), and
+    wall-clock elapsed — enough to watch a long grid from a terminal::
 
         [3/8] ('face', 1024): 4,312 tpmC  (12.4s elapsed)
+        [4/8] ('face', 2.0): restart 0.84s  (13.1s elapsed)
     """
     out = stream if stream is not None else sys.stderr
 
     def report(p: CellProgress) -> None:
+        result = p.result
+        if isinstance(result, RunResult):
+            headline = f"{result.tpmc:,.0f} tpmC"
+        else:
+            headline = f"restart {result.restart_seconds:.2f}s"
         print(
-            f"[{p.completed}/{p.total}] {p.key}: {p.result.tpmc:,.0f} tpmC  "
+            f"[{p.completed}/{p.total}] {p.key}: {headline}  "
             f"({p.elapsed_seconds:.1f}s elapsed)",
             file=out,
         )

@@ -828,6 +828,16 @@ class ReplayRunner:
 
     # -- protocol (mirrors ExperimentRunner) ---------------------------------
 
+    def step(self) -> None:
+        """Replay one transaction (the scenario stepping hook).
+
+        The trace extends on demand (:meth:`TraceRecorder.ensure`), so a
+        crash scenario stepping to its kill point effectively truncates
+        the recording there — nothing past the crash is ever recorded or
+        replayed.
+        """
+        self._replay_one()
+
     def warm_up(
         self, min_transactions: int = 500, max_transactions: int = 50_000
     ) -> int:
@@ -896,17 +906,20 @@ class ReplayRunner:
         )
 
 
-def replay_cell(spec, recorder: TraceRecorder) -> RunResult:
-    """Replay one sweep cell (mirrors :func:`repro.sim.parallel.run_cell`)."""
+def replay_cell(spec, recorder: TraceRecorder):
+    """Replay one sweep cell (mirrors :func:`repro.sim.parallel.run_cell`).
+
+    The spec's scenario owns the protocol, so steady cells measure and
+    crash cells run the Section 5.5 schedule over the replayed stream —
+    the trace extends on demand, so a crash cell records (and replays)
+    nothing past its kill point.
+    """
     obs_was_enabled = OBS.enabled
     if spec.collect_obs:
         OBS.clear()
         OBS.enable()
     runner = ReplayRunner(spec.config, recorder)
-    runner.warm_up(spec.warmup_min, spec.warmup_max)
-    result = runner.measure(
-        spec.measure_transactions, checkpoint_interval=spec.checkpoint_interval
-    )
+    result = spec.resolve_scenario().execute(runner)
     if spec.collect_obs:
         result.obs = OBS.snapshot()
         if not obs_was_enabled:

@@ -165,6 +165,15 @@ class ExperimentRunner:
     def _cache_populated(self) -> bool:
         return cache_populated(self.dbms)
 
+    def step(self) -> None:
+        """Execute one workload transaction (the scenario stepping hook).
+
+        Scenarios that schedule their own events between transactions —
+        checkpoints, crashes (:mod:`repro.sim.scenario`) — drive the run
+        one step at a time instead of through :meth:`measure`.
+        """
+        self.driver.run_one()
+
     # -- measurement ----------------------------------------------------------
 
     def measure(

@@ -91,8 +91,9 @@ class LogManager:
         variable-length byte count measured when the update was originally
         traced — so the tail-byte accounting, force page counts and LSN
         sequence are identical to :meth:`log_update` at a fraction of the
-        cost.  Not usable for recovery redo/undo; replayed systems are never
-        crash-recovered (a fallback full run is).
+        cost.  Crash recovery redoes such a record as a pageLSN stamp (row
+        images are untimed state), so replayed systems restart with a
+        bit-identical :class:`~repro.recovery.restart.RestartReport`.
         """
         return self._append(
             SizedUpdateRecord(

@@ -123,7 +123,8 @@ class ReplayUpdateRecord:
     live WAL needs (LSN ordering, byte size, optional full-page image) and
     reports the same :meth:`size_bytes` — records of either type are
     interchangeable in the tail and durable lists.  Like
-    :class:`SizedUpdateRecord` it cannot feed recovery redo/undo.
+    :class:`SizedUpdateRecord` it carries no row images, so recovery redo
+    treats it as a pageLSN stamp (see :mod:`repro.recovery.restart`).
     """
 
     __slots__ = ("lsn", "txid", "page_id", "payload_bytes", "page_image")

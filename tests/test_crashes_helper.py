@@ -1,10 +1,10 @@
-"""Crash-schedule helper (repro.sim.crashes)."""
+"""Crash-schedule helpers (repro.sim.crashes shims over repro.sim.scenario)."""
 
 import pytest
 
 from repro.core.config import CachePolicy
 from repro.errors import ConfigError
-from repro.sim.crashes import crash_mid_interval, run_until_mid_interval
+from repro.sim.crashes import CrashRun, crash_mid_interval, run_until_mid_interval
 from repro.sim.runner import ExperimentRunner
 from repro.tpcc.scale import TINY
 from tests.conftest import tiny_config
@@ -30,12 +30,13 @@ def test_runs_until_mid_interval_after_min_checkpoints(runner):
     assert wall > 0.02  # at least one full interval elapsed
 
 
-def test_max_transactions_bounds_the_run(runner):
-    executed, checkpoints = run_until_mid_interval(
-        runner, checkpoint_interval=1e9, max_transactions=25
-    )
-    assert executed == 25
-    assert checkpoints == 0  # interval unreachably long
+def test_exhausting_max_transactions_raises(runner):
+    # A run that never reaches its scheduled kill point must not silently
+    # return as if it crashed on schedule.
+    with pytest.raises(ConfigError, match="never reached its kill point"):
+        run_until_mid_interval(
+            runner, checkpoint_interval=1e9, max_transactions=25
+        )
 
 
 def test_invalid_interval_rejected(runner):
@@ -44,12 +45,36 @@ def test_invalid_interval_rejected(runner):
 
 
 def test_crash_mid_interval_returns_full_record(runner):
-    crash = crash_mid_interval(
-        runner, checkpoint_interval=0.02, max_transactions=5_000
-    )
+    with pytest.deprecated_call():
+        crash = crash_mid_interval(
+            runner, checkpoint_interval=0.02, max_transactions=5_000
+        )
+    assert isinstance(crash, CrashRun)
     assert crash.checkpoints_before_crash >= 2
     assert crash.transactions_before_crash > 0
     assert crash.crash_wall_seconds > 0
     assert crash.report.total_time > 0
     # The system came back: it can process more work.
     runner.driver.run(20)
+
+
+def test_shim_matches_the_scenario_path(runner):
+    """The deprecated helper is a thin front for CrashRecoveryScenario."""
+    from repro.sim.scenario import CrashRecoveryScenario
+
+    with pytest.deprecated_call():
+        shim = crash_mid_interval(
+            runner, checkpoint_interval=0.02, max_transactions=5_000
+        )
+    config = tiny_config(
+        CachePolicy.FACE_GSC, disk_capacity_pages=8192, cache_pages=96,
+        buffer_pages=12,
+    )
+    fresh = ExperimentRunner(config, TINY, seed=4)
+    direct = CrashRecoveryScenario(
+        checkpoint_interval=0.02, max_transactions=5_000
+    ).run_measured(fresh)
+    assert direct.transactions_before_crash == shim.transactions_before_crash
+    assert direct.checkpoints_before_crash == shim.checkpoints_before_crash
+    assert direct.crash_wall_seconds == shim.crash_wall_seconds
+    assert direct.report == shim.report

@@ -40,7 +40,9 @@ DB_PAGES = estimate_db_pages(TINY)
 
 #: Simulated-metric namespaces whose obs snapshots must match exactly;
 #: ``replay.*`` is machinery telemetry and is excluded by construction.
-PARITY_PREFIXES = ("flashcache.", "buffer.pool.", "wal.")
+#: ``recovery.*`` is included: a replayed restart drives the exact same
+#: ARIES phases as a full one (crash cells below).
+PARITY_PREFIXES = ("flashcache.", "buffer.pool.", "wal.", "recovery.")
 
 #: Short but non-trivial protocol: long enough to fill the small flash
 #: cache, trigger evictions and WAL forces on every policy.
@@ -110,6 +112,55 @@ def test_replay_parity_clock_buffer_policy():
 
 def test_replay_parity_with_collect_obs():
     _parity(_spec(CachePolicy.FACE_GSC, collect_obs=True))
+
+
+# -- crash cells: the trace truncates at the kill point ----------------------
+
+
+def _crash_spec(policy: CachePolicy, **over) -> CellSpec:
+    from repro.sim.scenario import CrashRecoveryScenario
+
+    scenario = CrashRecoveryScenario(
+        checkpoint_interval=0.5, max_transactions=8_000,
+        warmup_min=40, warmup_max=600,
+    )
+    return _spec(policy, **{"scenario": scenario, **over})
+
+
+@pytest.mark.parametrize(
+    "policy", [CachePolicy.FACE_GSC, CachePolicy.LC, CachePolicy.NONE],
+    ids=lambda p: p.value,
+)
+def test_replay_parity_crash_cell(policy):
+    # The replayed run steps the trace up to the crash point (the recorded
+    # trace extends on demand, so it is effectively truncated there), then
+    # restarts against the recovered components: transactions-before-crash,
+    # checkpoints and the whole RestartReport must match full execution bit
+    # for bit — including redo_applied and flash_read_fraction, the Table 6
+    # columns (ISSUE acceptance).
+    _parity(_crash_spec(policy))
+
+
+def test_replay_parity_crash_cell_with_collect_obs():
+    # recovery.* counters/gauges are in PARITY_PREFIXES: the published
+    # restart metrics must match too, not just the report dataclass.
+    _parity(_crash_spec(CachePolicy.FACE_GSC, collect_obs=True))
+
+
+def test_fast_mode_mixes_steady_and_crash_cells():
+    # One grid, both scenario kinds, one shared (TINY, 42) trace: fast mode
+    # must partition and replay them all bit-identically, in order.
+    specs = [
+        _spec(CachePolicy.FACE, fraction=0.06),
+        _crash_spec(CachePolicy.FACE_GSC),
+        _crash_spec(CachePolicy.NONE),
+        _spec(CachePolicy.LC, fraction=0.08),
+    ]
+    slow = run_cells(specs, jobs=1)
+    fast = run_cells(specs, jobs=1, fast=True)
+    assert list(fast) == list(slow) == [s.key for s in specs]
+    for key in slow:
+        assert dataclasses.asdict(fast[key]) == dataclasses.asdict(slow[key])
 
 
 # -- warm-state forks --------------------------------------------------------
