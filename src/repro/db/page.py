@@ -64,6 +64,12 @@ class PageImage:
         page._image = self
         return page
 
+    def __deepcopy__(self, memo: dict) -> "PageImage":
+        # Immutable by contract (see class docstring), so forked system
+        # states (repro.sim.warmstate) share images instead of copying the
+        # row payloads — the dominant bulk of any warmed DBMS graph.
+        return self
+
 
 class Page:
     """A mutable in-DRAM database page of slotted rows.

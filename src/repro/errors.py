@@ -71,3 +71,12 @@ class ConfigError(ReproError):
 
 class TraceCodecError(ReproError):
     """A compressed boundary trace is malformed, truncated or corrupt."""
+
+
+class SharedTraceExhausted(ReproError):
+    """A replay needed more transactions than its shared trace holds.
+
+    Raised by the read-only shared-memory trace recorder (a published
+    segment cannot extend); the sweep engine catches it and re-replays the
+    cell against the parent's live recorder.
+    """

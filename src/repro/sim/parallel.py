@@ -38,11 +38,11 @@ import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence, TextIO
 
 from repro.core.config import SystemConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SharedTraceExhausted
 from repro.obs import OBS
 from repro.sim.runner import ExperimentRunner, RunResult
 from repro.sim.scenario import (
@@ -50,6 +50,7 @@ from repro.sim.scenario import (
     ScenarioResult,
     SteadyStateScenario,
 )
+from repro.sim.trace import SharedTraceHandle, publish_boundary_trace
 from repro.tpcc.scale import ScaleProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -91,6 +92,12 @@ class CellSpec:
     #: crash/restart measurement returning a
     #: :class:`~repro.sim.scenario.CrashRun`.
     scenario: SteadyStateScenario | CrashRecoveryScenario | None = None
+    #: Refcounted handle to a boundary trace the parent published into
+    #: shared memory (see :mod:`repro.sim.trace`).  Set by the fast sweep
+    #: engine on the copies it ships to replay workers — user code never
+    #: sets it.  The pickled handle carries only the segment name and
+    #: lengths; the worker attaches a zero-copy view and replays from it.
+    shared_trace: SharedTraceHandle | None = None
 
     def resolve_scenario(self) -> SteadyStateScenario | CrashRecoveryScenario:
         """The scenario this cell executes (defaulting to steady state)."""
@@ -348,6 +355,101 @@ def _run_cells(
     return results
 
 
+class _SharedReplayFailed:
+    """Worker-side sentinel: a cell could not replay from its shared trace.
+
+    Returned (not raised) by :func:`replay_shared_cell` so one exhausted
+    cell never poisons its future or the pool; pickling round-trips to a
+    fresh instance, so the parent checks ``isinstance``, never identity.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+def replay_shared_cell(spec: CellSpec) -> ScenarioResult | _SharedReplayFailed:
+    """Replay one cell from its published shared trace (pool worker target).
+
+    Attaches to the segment once per worker process (the attachment — and
+    the kernel's compiled plan — is cached and reused by every later cell
+    this worker replays from the same segment).  A replay that outruns the
+    immutable segment, or a segment that has vanished, returns a
+    :class:`_SharedReplayFailed` marker; the parent re-replays that cell
+    against its live recorder.
+    """
+    from repro.sim.replay import attached_recorder, replay_cell
+
+    obs_was_enabled = OBS.enabled
+    try:
+        return replay_cell(spec, attached_recorder(spec))
+    except (SharedTraceExhausted, OSError) as exc:
+        # ``replay_cell`` may have flipped OBS on for a collect_obs cell
+        # before failing; restore so later cells in this worker behave.
+        if OBS.enabled and not obs_was_enabled:
+            OBS.disable()
+        return _SharedReplayFailed(str(exc))
+
+
+def _replay_pool(
+    specs: Sequence[CellSpec], jobs: int
+) -> dict[tuple, ScenarioResult | _SharedReplayFailed]:
+    """Fan shared-trace replays out over a process pool; partial on failure.
+
+    Mirrors the full-execution engine's pool degradation, but *returns*
+    whatever completed instead of re-running in place — any cell missing
+    from the result (pool unavailable, worker crash, unpicklable spec) is
+    replayed by the caller in the parent, so the sweep always completes.
+    """
+    results: dict[tuple, ScenarioResult | _SharedReplayFailed] = {}
+    try:
+        ensure_picklable(specs)
+    except ConfigError as exc:
+        warnings.warn(
+            f"sweep cell not picklable ({exc}); replaying shared cells in "
+            f"the parent",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return results
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(specs)))
+    except (OSError, ValueError, PermissionError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc}); replaying shared cells in "
+            f"the parent",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return results
+    with executor:
+        try:
+            pending = [
+                (spec, executor.submit(replay_shared_cell, spec)) for spec in specs
+            ]
+        except (OSError, BrokenProcessPool) as exc:
+            warnings.warn(
+                f"process pool failed at submit ({exc}); replaying shared "
+                f"cells in the parent",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return results
+        for spec, future in pending:
+            try:
+                results[spec.key] = future.result()
+            except BrokenProcessPool as exc:
+                warnings.warn(
+                    f"process pool broke mid-replay ({exc}); finishing "
+                    f"remaining cells in the parent",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                break
+    return results
+
+
 def _run_cells_fast(
     specs: Sequence[CellSpec],
     jobs: int | None,
@@ -363,10 +465,17 @@ def _run_cells_fast(
     full-executes through :func:`run_cell_warm` (warm-state forks), with
     the usual process-pool path when ``jobs`` allows.
 
-    Replays run serially in the parent process: a replayed cell is so much
-    cheaper than a full execution that shipping traces to workers would
-    cost more than it saves.  Results and callbacks keep the original spec
-    order, exactly like the full-execution engine.
+    Replay distribution: with ``jobs > 1``, each ``(scale, seed)`` group's
+    trace is extended once to the group's worst-case consumption (the max
+    of the members' scenario :meth:`trace_bound`s), published into shared
+    memory once, and every member fans out to pool workers replaying
+    zero-copy from the same segment (steady *and* crash cells — a crash
+    cell's kill point is just an early stop within the bound).  Cells a
+    worker could not serve (vanished segment, pool failure) are
+    re-replayed in the parent against the live recorder, so results are
+    always complete and bit-identical to a serial sweep.  At ``jobs=1``
+    every replay stays in the parent, exactly as before.  Results and
+    callbacks keep the original spec order, like the full-execution engine.
     """
     from repro.sim.replay import (
         cached_trace_exists,
@@ -399,12 +508,59 @@ def _run_cells_fast(
     results: dict[tuple, ScenarioResult] = {}
     if executed:
         results.update(_run_cells(executed, jobs, None, None, run_cell_warm))
+
+    jobs_n = resolve_jobs(jobs)
+    groups: dict[tuple, list[CellSpec]] = {}
     for spec in replayed:
-        results[spec.key] = replay_cell(spec, get_recorder(spec.scale, spec.seed))
-    if executed and OBS.enabled:
+        groups.setdefault((spec.scale, spec.seed), []).append(spec)
+
+    n_shared = 0
+    n_exhausted = 0
+    published: list[SharedTraceHandle] = []
+    try:
+        for (scale, seed), members in groups.items():
+            recorder = get_recorder(scale, seed)
+            handle = None
+            if jobs_n > 1 and len(members) >= 2:
+                # Cover the group's worst case up front so no worker can
+                # outrun the immutable segment (recording is cheap next to
+                # even one replay; the exhaustion path below stays as a
+                # safety net, not the expected route).
+                bound = max(
+                    spec.resolve_scenario().trace_bound() for spec in members
+                )
+                recorder.ensure(bound)
+                handle = publish_boundary_trace(recorder.longest_trace())
+            if handle is not None:
+                published.append(handle.acquire())
+                shared = [replace(s, shared_trace=handle) for s in members]
+                pool_results = _replay_pool(shared, jobs_n)
+                for spec in members:
+                    got = pool_results.get(spec.key)
+                    if got is None or isinstance(got, _SharedReplayFailed):
+                        n_exhausted += 1
+                        got = replay_cell(spec, recorder)
+                    else:
+                        n_shared += 1
+                    results[spec.key] = got
+            else:
+                for spec in members:
+                    results[spec.key] = replay_cell(spec, recorder)
+    finally:
+        # The segments die with the sweep, success or not; the atexit hook
+        # in repro.sim.trace is only a backstop for harder crashes.
+        for handle in published:
+            handle.release()
+
+    if OBS.enabled:
         # After the cells: each cell's warm-up resets counters at the
         # measurement boundary, which would zero a count taken earlier.
-        OBS.counter("replay.fallbacks").inc(len(executed))
+        if executed:
+            OBS.counter("replay.fallbacks").inc(len(executed))
+        if n_shared:
+            OBS.counter("replay.shared.cells").inc(n_shared)
+        if n_exhausted:
+            OBS.counter("replay.shared.exhausted").inc(n_exhausted)
     save_recorded_traces()
 
     ordered: dict[tuple, ScenarioResult] = {}

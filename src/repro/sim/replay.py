@@ -76,8 +76,16 @@ from repro.sim.trace import (
     encode_boundary,
     raw_boundary_bytes,
 )
-from repro.errors import TraceCodecError
-from repro.sim.warmstate import fork_database
+from repro.errors import SharedTraceExhausted, TraceCodecError
+from repro.sim.kernel import ReplayKernel, kernel_enabled
+from repro.sim.warmstate import (
+    WarmFork,
+    fork_database,
+    fork_dbms,
+    get_warm_fork,
+    put_warm_fork,
+    warm_fork_enabled,
+)
 from repro.tpcc.driver import _MIX, TpccDriver, WorkloadStats
 from repro.tpcc.loader import estimate_db_pages
 from repro.storage.profiles import PAGE_SIZE
@@ -448,6 +456,20 @@ class TraceRecorder:
         self._saved_transactions = best.n_transactions
         return True
 
+    def longest_trace(self) -> BoundaryTrace:
+        """The longest trace currently known, without recording anything.
+
+        Used by the sweep engine to publish the widest possible shared
+        segment: a validated persisted trace may cover more transactions
+        than the live one has recorded so far.
+        """
+        if self._use_cache and not self._cache_checked:
+            self._check_cache()
+        cached = self._cached
+        if cached is not None and cached.n_transactions >= self.trace.n_transactions:
+            return cached
+        return self.trace
+
 
 #: Per-process recorder registry: traces are shared across every sweep and
 #: ``run_cells`` call in the process (e.g. a whole benchmark session).
@@ -489,6 +511,91 @@ def save_recorded_traces() -> None:
 def clear_recorders() -> None:
     """Drop all recorders (tests)."""
     _RECORDERS.clear()
+    _ATTACHED.clear()
+
+
+# -- shared-memory recorders -------------------------------------------------
+
+
+class SharedTraceRecorder:
+    """Read-only recorder facade over an attached shared-memory trace.
+
+    Quacks like :class:`TraceRecorder` for everything a replay touches
+    (``ensure`` plus the kernel's cached ``kernel_plan``) but can never
+    record: a published segment is immutable.  A replay that outruns the
+    segment raises :class:`~repro.errors.SharedTraceExhausted`, which the
+    sweep engine turns into a parent-side re-replay against the live
+    recorder.
+    """
+
+    __slots__ = ("scale", "seed", "trace", "kernel_plan")
+
+    def __init__(self, scale: ScaleProfile, seed: int, trace) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.trace = trace
+        self.kernel_plan = None
+
+    def ensure(self, n_transactions: int):
+        if n_transactions <= self.trace.n_transactions:
+            return self.trace
+        raise SharedTraceExhausted(
+            f"shared trace for seed {self.seed} holds "
+            f"{self.trace.n_transactions} transactions; "
+            f"replay asked for {n_transactions}"
+        )
+
+
+#: Worker-side attachment cache: one mapping (and one compiled kernel plan)
+#: per shared segment, reused across every cell the worker replays from it.
+_ATTACHED: dict[str, SharedTraceRecorder] = {}
+
+
+def attached_recorder(spec) -> SharedTraceRecorder:
+    """Attach (once per process) to the spec's published shared trace."""
+    handle = spec.shared_trace
+    recorder = _ATTACHED.get(handle.name)
+    if recorder is None:
+        trace = handle.attach()
+        recorder = _ATTACHED[handle.name] = SharedTraceRecorder(
+            spec.scale, spec.seed, trace
+        )
+    return recorder
+
+
+def prepare_replay(specs) -> dict[str, Any]:
+    """Pay each (scale, seed) group's one-time trace preparation up front.
+
+    Instantiating a recorder loads the TPC-C database; ``ensure(1)`` also
+    triggers on-disk cache validation (decode + prefix re-record) when a
+    persisted trace exists.  Benchmarks call this before their timed
+    passes so sweep timings stop charging that fixed cost to whichever
+    cell happens to run first; the returned breakdown is recorded
+    alongside the sweep timings.
+    """
+    t_total = time.perf_counter()
+    groups: list[dict[str, Any]] = []
+    seen: set[tuple[ScaleProfile, int]] = set()
+    for spec in specs:
+        if not getattr(spec, "replay_ok", True):
+            continue
+        key = (spec.scale, spec.seed)
+        if key in seen:
+            continue
+        seen.add(key)
+        already_live = has_recorder(spec.scale, spec.seed)
+        t0 = time.perf_counter()
+        recorder = get_recorder(spec.scale, spec.seed)
+        recorder.ensure(1)
+        groups.append(
+            {
+                "seed": spec.seed,
+                "already_live": already_live,
+                "cached_transactions": recorder._saved_transactions,
+                "seconds": time.perf_counter() - t0,
+            }
+        )
+    return {"groups": groups, "seconds": time.perf_counter() - t_total}
 
 
 # -- replay ------------------------------------------------------------------
@@ -521,6 +628,12 @@ class ReplayRunner:
         policy = self.dbms.buffer._policy
         self._fast = type(policy) is LruPolicy
         self._move_to_end = policy._frames.move_to_end if self._fast else None
+        # The batched kernel replaces both inlined loops for LRU pools:
+        # token-stream stepping with bulk run classification, the same
+        # bit-identical accounting, OBS on or off (it installs a
+        # tick-based LRU twin into the pool).  ``REPRO_REPLAY_KERNEL=0``
+        # falls back to the scalar loops below.
+        self._kernel = ReplayKernel(self) if self._fast and kernel_enabled() else None
 
     def _replay_one(self) -> None:
         """Replay the next recorded transaction, event by event.
@@ -536,6 +649,10 @@ class ReplayRunner:
         included — exactly as the full-execution path, which is what makes
         replayed metrics bit-identical.
         """
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.replay_one_measured()
+            return
         if OBS.enabled or not self._fast:
             self._replay_one_exact()
             return
@@ -841,16 +958,28 @@ class ReplayRunner:
     def warm_up(
         self, min_transactions: int = 500, max_transactions: int = 50_000
     ) -> int:
+        fork_key = self._warm_fork_key(min_transactions, max_transactions)
+        if fork_key is not None:
+            fork = get_warm_fork(fork_key)
+            if fork is not None:
+                self._adopt_warm_fork(fork)
+                return self.warmup_transactions
         executed = 0
         dbms = self.dbms
         # The lean loop skips exactly the accumulators reset_measurements
         # zeroes below; with OBS on (or a non-LRU pool) every event must
         # still go through the exact loop so counters exist after reset.
-        step = (
-            self._replay_one_lean
-            if self._fast and not OBS.enabled
-            else self._replay_one
-        )
+        kernel = self._kernel
+        if kernel is not None:
+            step = (
+                kernel.replay_one_lean
+                if not OBS.enabled
+                else kernel.replay_one_measured
+            )
+        elif self._fast and not OBS.enabled:
+            step = self._replay_one_lean
+        else:
+            step = self._replay_one
         while executed < min_transactions or (
             executed < max_transactions and not cache_populated(dbms)
         ):
@@ -862,7 +991,93 @@ class ReplayRunner:
             OBS.reset()
         self._last_checkpoint_wall = 0.0
         self.warmup_transactions = executed
+        if fork_key is not None:
+            put_warm_fork(fork_key, self._capture_warm_fork(executed))
         return executed
+
+    # -- post-warm-up fork reuse (repro.sim.warmstate) -----------------------
+
+    def _warm_fork_key(self, min_transactions: int, max_transactions: int):
+        """Full replay identity of this warm-up, or ``None`` if ineligible.
+
+        Warm-up is a pure function of (trace, config, bounds, loop
+        flavour): the trace is pinned by (scale, seed), and the flavour
+        matters because it decides which policy object ends up installed
+        in the pool.  OBS-enabled runs are ineligible — their warm-up must
+        actually execute so the post-reset counter *set* matches a full
+        run's — and the whole cache can be switched off via
+        ``REPRO_REPLAY_WARMFORK=0``.
+        """
+        if OBS.enabled or not warm_fork_enabled():
+            return None
+        if self._kernel is not None:
+            mode = "kernel"
+        elif self._fast:
+            mode = "lru"
+        else:
+            mode = "exact"
+        return (
+            self.recorder.scale,
+            self.recorder.seed,
+            repr(self.config),
+            min_transactions,
+            max_transactions,
+            mode,
+        )
+
+    def _capture_warm_fork(self, executed: int) -> WarmFork:
+        kernel = self._kernel
+        return WarmFork(
+            dbms=fork_dbms(self.dbms),
+            op_index=self._op_index,
+            arg_index=self._arg_index,
+            tx_index=self._tx_index,
+            executed=executed,
+            kernel_cursors=(
+                None
+                if kernel is None
+                else (
+                    kernel._ti,
+                    kernel._ri,
+                    kernel._runs,
+                    kernel._batched_reads,
+                    kernel._scalar_reads,
+                    kernel._events,
+                    kernel._transactions,
+                )
+            ),
+        )
+
+    def _adopt_warm_fork(self, fork: WarmFork) -> None:
+        # Re-fork so the cached copy stays pristine for the next adopter.
+        dbms = fork_dbms(fork.dbms)
+        self.dbms = dbms
+        self._op_index = fork.op_index
+        self._arg_index = fork.arg_index
+        self._tx_index = fork.tx_index
+        self.warmup_transactions = fork.executed
+        self.stats.reset()
+        self._last_checkpoint_wall = 0.0
+        policy = dbms.buffer._policy
+        kernel = self._kernel
+        if kernel is not None:
+            # The kernel built for this runner installed a fresh policy
+            # into the *discarded* pristine system; rebind it to the
+            # adopted clone and restore its cursors and telemetry so a
+            # fork hit reports exactly what a replayed warm-up would.
+            kernel.dbms = dbms
+            kernel.policy = policy
+            (
+                kernel._ti,
+                kernel._ri,
+                kernel._runs,
+                kernel._batched_reads,
+                kernel._scalar_reads,
+                kernel._events,
+                kernel._transactions,
+            ) = fork.kernel_cursors
+        elif self._fast:
+            self._move_to_end = policy._frames.move_to_end
 
     def measure(
         self,
@@ -898,6 +1113,8 @@ class ReplayRunner:
                 OBS.gauge("replay.events_per_sec").set(
                     (self._op_index - ops_before) / elapsed
                 )
+            if self._kernel is not None:
+                self._kernel.publish_stats()
         return self.summarise()
 
     def summarise(self) -> RunResult:
@@ -920,7 +1137,13 @@ def replay_cell(spec, recorder: TraceRecorder):
         OBS.enable()
     runner = ReplayRunner(spec.config, recorder)
     result = spec.resolve_scenario().execute(runner)
+    if runner._kernel is not None:
+        runner._kernel.accumulate_totals()
     if spec.collect_obs:
+        if runner._kernel is not None:
+            # Crash cells never reach measure(); the watermarks make a
+            # second publication from a steady cell a no-op.
+            runner._kernel.publish_stats()
         result.obs = OBS.snapshot()
         if not obs_was_enabled:
             OBS.disable()

@@ -119,6 +119,10 @@ class SteadyStateScenario:
         if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
             raise ConfigError("checkpoint_interval must be positive")
 
+    def trace_bound(self) -> int:
+        """Most transactions a replay of this scenario can ever consume."""
+        return self.warmup_max + self.measure_transactions
+
     def execute(self, runner) -> RunResult:
         runner.warm_up(self.warmup_min, self.warmup_max)
         return runner.measure(
@@ -160,6 +164,14 @@ class CrashRecoveryScenario:
             raise ConfigError("min_checkpoints must be >= 1")
         if self.max_transactions < 1:
             raise ConfigError("max_transactions must be >= 1")
+
+    def trace_bound(self) -> int:
+        """Most transactions a replay of this scenario can ever consume.
+
+        The kill point truncates the measured phase, so the bound is the
+        worst case: warm-up plus the full ``max_transactions`` budget.
+        """
+        return self.warmup_max + self.max_transactions
 
     def execute(self, runner) -> CrashRun:
         runner.warm_up(self.warmup_min, self.warmup_max)

@@ -386,3 +386,243 @@ def decode_boundary(data: bytes) -> tuple[array, array]:
             f"header says {n_args} operands / {len(body)} bytes"
         )
     return ops, args
+
+
+# -- zero-copy shared boundary traces ----------------------------------------
+#
+# One decoded trace, N replaying workers (ISSUE 6 tentpole).  The parent
+# publishes the two flat arrays into one POSIX shared-memory segment
+# (opcode bytes, then the operand words); workers attach read-only views
+# and replay straight out of the buffer — no per-worker decode, no copy.
+# Crash cells need nothing special: their kill-point truncation is just a
+# smaller prefix of the same arrays.
+#
+# Ownership protocol:
+#
+# * The *parent* owns every segment it publishes.  A handle is refcounted
+#   (``acquire``/``release``) by the sweeps that hand it to workers;
+#   the last release unlinks.  A module ``atexit`` hook force-unlinks
+#   anything still owned, so an exception (or plain exit) between publish
+#   and release can never leak ``/dev/shm`` space.
+# * *Workers* only ever attach.  Attaching is explicitly unregistered from
+#   ``multiprocessing.resource_tracker`` (Python < 3.13 registers attached
+#   segments too, and the tracker would unlink a segment other workers are
+#   still replaying from when the first one exits).
+# * ``unlink`` is idempotent and tolerates an already-removed segment, so
+#   the refcount path, the ``finally`` in the sweep engine and the atexit
+#   hook can all fire without stepping on each other.
+
+_SHM_PREFIX = "repro-bt-"
+
+#: Segments this process created and has not yet unlinked (name -> handle).
+_OWNED: dict[str, "SharedTraceHandle"] = {}
+
+_SHM_SEQ = 0
+
+
+def _next_shm_name() -> str:
+    global _SHM_SEQ
+    _SHM_SEQ += 1
+    import os as _os
+
+    return f"{_SHM_PREFIX}{_os.getpid()}-{_SHM_SEQ}"
+
+
+class SharedTraceHandle:
+    """Picklable, refcounted handle to a published boundary trace.
+
+    The pickled form carries only the segment name and the array lengths;
+    the owning :class:`~multiprocessing.shared_memory.SharedMemory` object
+    never crosses the process boundary.  Equality/hash are identity — the
+    handle is a capability, not a value.
+    """
+
+    def __init__(self, name: str, n_ops: int, n_args: int, n_transactions: int) -> None:
+        self.name = name
+        self.n_ops = n_ops
+        self.n_args = n_args
+        self.n_transactions = n_transactions
+        self._shm = None  # owner side only
+        self._refs = 0
+
+    def __getstate__(self):
+        return (self.name, self.n_ops, self.n_args, self.n_transactions)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.n_ops, self.n_args, self.n_transactions = state
+        self._shm = None
+        self._refs = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedTraceHandle({self.name!r}, n_ops={self.n_ops}, "
+            f"n_args={self.n_args}, n_transactions={self.n_transactions})"
+        )
+
+    # -- owner side ----------------------------------------------------------
+
+    def acquire(self) -> "SharedTraceHandle":
+        """Take a reference (owner side); pairs with :meth:`release`."""
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; the last release unlinks the segment."""
+        self._refs -= 1
+        if self._refs <= 0:
+            self.unlink()
+
+    def unlink(self) -> None:
+        """Destroy the segment now (idempotent; tolerates prior removal)."""
+        shm = self._shm
+        self._shm = None
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover - races
+                pass
+        _OWNED.pop(self.name, None)
+
+    # -- worker side ---------------------------------------------------------
+
+    def attach(self) -> "SharedBoundaryTrace":
+        """Map the published segment read-only (worker side).
+
+        Raises ``OSError`` (typically ``FileNotFoundError``) when the
+        segment no longer exists — callers treat that as "shared path
+        unavailable" and fall back.
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Python < 3.13 registers *attached* segments with the resource
+        # tracker as if this process owned them.  Whether that needs
+        # undoing depends on whose tracker this process talks to:
+        #
+        # * A *forked* worker inherits the parent's tracker connection, and
+        #   the tracker's cache is a per-name set — the attach-time
+        #   re-register is a no-op on the parent's create-time entry, and
+        #   an unregister here would strip that entry (breaking the
+        #   crash backstop and making sibling unregisters error).  Leave
+        #   an inherited tracker alone.
+        # * A worker with *no* tracker connection yet (spawn start method)
+        #   starts a private tracker during the attach; that tracker would
+        #   unlink the segment when the worker exits, destroying it for
+        #   everyone else — unregister immediately.
+        tracker = getattr(resource_tracker, "_resource_tracker", None)
+        inherited = tracker is not None and getattr(tracker, "_fd", None) is not None
+        shm = shared_memory.SharedMemory(name=self.name)
+        if not inherited:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals vary
+                pass
+        return SharedBoundaryTrace(shm, self.n_ops, self.n_args, self.n_transactions)
+
+
+class SharedBoundaryTrace:
+    """A read-only :class:`BoundaryTrace` twin over an attached segment.
+
+    ``ops``/``args`` are zero-copy memoryviews into the shared buffer with
+    the exact indexing/len semantics the replay loops and the kernel's
+    plan builder use on the array-backed trace; replaying from one is
+    bit-identical to replaying from the original arrays.
+    """
+
+    __slots__ = ("ops", "args", "n_transactions", "_shm")
+
+    def __init__(self, shm, n_ops: int, n_args: int, n_transactions: int) -> None:
+        self._shm = shm
+        buf = shm.buf
+        self.ops = buf[:n_ops]
+        self.args = buf[n_ops : n_ops + 8 * n_args].cast("q")
+        self.n_transactions = n_transactions
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def close(self) -> None:
+        """Release the views and unmap (tests; workers just exit)."""
+        ops, args, shm = self.ops, self.args, self._shm
+        self.ops = self.args = self._shm = None
+        if ops is not None:
+            ops.release()
+        if args is not None:
+            args.release()
+        if shm is not None:
+            shm.close()
+
+    def __del__(self) -> None:
+        # Views must die before the mapping: plain garbage collection
+        # finalizes the SharedMemory in arbitrary order relative to the
+        # exported ops/args views, and mmap refuses to close under live
+        # exports.  Ordering the teardown here keeps interpreter shutdown
+        # (and dropped worker attachments) silent.
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - shutdown best-effort
+            pass
+
+
+def publish_boundary_trace(trace) -> SharedTraceHandle | None:
+    """Publish a boundary trace into shared memory; ``None`` on fallback.
+
+    Copies the flat arrays once.  Returns ``None`` when shared memory is
+    unavailable (no ``multiprocessing.shared_memory`` support, permission
+    or space errors) — callers then keep the per-worker path.
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - always present on CPython 3.8+
+        return None
+    n_ops = len(trace.ops)
+    n_args = len(trace.args)
+    size = max(1, n_ops + 8 * n_args)
+    shm = None
+    try:
+        for _ in range(8):  # name collisions only after a pid wraps
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=size, name=_next_shm_name()
+                )
+                break
+            except FileExistsError:
+                continue
+        else:
+            return None
+    except (OSError, ValueError):
+        return None
+    buf = shm.buf
+    if n_ops:
+        buf[:n_ops] = memoryview(trace.ops).cast("B")
+    if n_args:
+        buf[n_ops : n_ops + 8 * n_args] = memoryview(trace.args).cast("B")
+    handle = SharedTraceHandle(shm.name, n_ops, n_args, trace.n_transactions)
+    handle._shm = shm
+    _OWNED[shm.name] = handle
+    return handle
+
+
+def _unlink_owned_segments() -> None:  # pragma: no cover - exercised at exit
+    for handle in list(_OWNED.values()):
+        handle.unlink()
+
+
+import atexit as _atexit
+
+_atexit.register(_unlink_owned_segments)
+
+
+def leaked_shared_segments() -> list[str]:
+    """Names of this library's segments still present in ``/dev/shm``.
+
+    Empty off Linux (no ``/dev/shm``).  The benchmark recorder and CI use
+    this to assert the ownership protocol actually cleaned up.
+    """
+    import os as _os
+
+    try:
+        entries = _os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(name for name in entries if name.startswith(_SHM_PREFIX))

@@ -1,0 +1,392 @@
+"""Vectorized replay kernel + zero-copy shared traces (ISSUE 6).
+
+Two independent claims are pinned here:
+
+* The batched kernel (:mod:`repro.sim.kernel`) replays bit-identically to
+  the scalar loops it replaces — for every cache policy, across seeds,
+  with OBS on and off, and on the pure-``array`` fallback when numpy is
+  absent (``REPRO_REPLAY_KERNEL=0`` selects the legacy loops, so equality
+  against them is the parity oracle).
+* The shared-memory trace layer (:mod:`repro.sim.trace`) publishes one
+  decoded trace that any number of workers attach to zero-copy, replays
+  from it match the per-process path exactly, and segments are unlinked
+  on normal sweep exit *and* after worker crashes — never leaked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.config import CachePolicy, scaled_reference_config
+from repro.errors import SharedTraceExhausted
+from repro.obs import OBS
+from repro.sim import kernel as kernel_mod
+from repro.sim import parallel as parallel_mod
+from repro.sim.kernel import kernel_totals, numpy_active, reset_kernel_totals
+from repro.sim.parallel import CellSpec, _SharedReplayFailed, replay_shared_cell, run_cells
+from repro.sim.replay import (
+    SharedTraceRecorder,
+    TraceRecorder,
+    attached_recorder,
+    clear_recorders,
+    get_recorder,
+    has_recorder,
+    prepare_replay,
+    replay_cell,
+)
+from repro.sim.scenario import CrashRecoveryScenario
+from repro.sim.trace import leaked_shared_segments, publish_boundary_trace
+from repro.sim.warmstate import clear_snapshots, fork_dbms, warm_fork_stats
+from repro.tpcc.loader import estimate_db_pages
+from repro.tpcc.scale import TINY
+
+DB_PAGES = estimate_db_pages(TINY)
+
+#: Simulated-metric namespaces whose obs snapshots must match exactly
+#: (mirrors tests/test_replay_parity.py; ``replay.*`` is machinery).
+PARITY_PREFIXES = ("flashcache.", "buffer.pool.", "wal.", "recovery.")
+
+FAST = dict(measure_transactions=120, warmup_min=40, warmup_max=600)
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    clear_recorders()
+    clear_snapshots()
+    reset_kernel_totals()
+    yield
+    clear_recorders()
+    clear_snapshots()
+    reset_kernel_totals()
+
+
+def _spec(policy: CachePolicy, seed: int = 42, fraction: float = 0.08, **over) -> CellSpec:
+    params = {**FAST, **over}
+    return CellSpec(
+        key=(policy.value, seed, fraction),
+        config=scaled_reference_config(DB_PAGES, cache_fraction=fraction, policy=policy),
+        scale=TINY,
+        seed=seed,
+        **params,
+    )
+
+
+def _assert_parity(kernel: dict, legacy: dict, collect_obs: bool) -> None:
+    kernel_obs, legacy_obs = kernel.pop("obs"), legacy.pop("obs")
+    assert kernel == legacy
+    if collect_obs:
+        for name, value in legacy_obs["counters"].items():
+            if name.startswith(PARITY_PREFIXES):
+                assert kernel_obs["counters"].get(name) == value, name
+        for name, value in kernel_obs["counters"].items():
+            if name.startswith(PARITY_PREFIXES):
+                assert legacy_obs["counters"].get(name) == value, name
+
+
+# -- kernel parity against the scalar loops ----------------------------------
+
+
+@pytest.mark.parametrize("policy", list(CachePolicy), ids=lambda p: p.value)
+@pytest.mark.parametrize("seed", [42, 7])
+@pytest.mark.parametrize("collect_obs", [False, True], ids=["obs-off", "obs-on"])
+def test_kernel_parity_every_policy(policy, seed, collect_obs, monkeypatch):
+    spec = _spec(policy, seed=seed, collect_obs=collect_obs)
+    monkeypatch.delenv("REPRO_REPLAY_KERNEL", raising=False)
+    with_kernel = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, seed)))
+    monkeypatch.setenv("REPRO_REPLAY_KERNEL", "0")
+    legacy = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, seed)))
+    _assert_parity(with_kernel, legacy, collect_obs)
+
+
+@pytest.mark.skipif(not numpy_active(), reason="numpy not installed")
+def test_kernel_fallback_equivalence_without_numpy(monkeypatch):
+    # The pure-`array` fallback must replay bit-identically to the numpy
+    # path: same plan tokens, same policy decisions, same RunResult.
+    spec = _spec(CachePolicy.FACE_GSC, collect_obs=True)
+    vectorized = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, 42)))
+    monkeypatch.setattr(kernel_mod, "_np", None)
+    monkeypatch.setattr(kernel_mod, "_KIND_LUT_NP", None)
+    fallback = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, 42)))
+    assert fallback["obs"]["gauges"]["replay.kernel.vectorized"] == 0.0
+    assert vectorized["obs"]["gauges"]["replay.kernel.vectorized"] == 1.0
+    _assert_parity(vectorized, fallback, collect_obs=True)
+
+
+def test_kernel_gauge_and_counters_published():
+    result = replay_cell(_spec(CachePolicy.FACE, collect_obs=True), TraceRecorder(TINY, 42))
+    gauges, counters = result.obs.gauges, result.obs.counters
+    assert gauges["replay.kernel.vectorized"] == (1.0 if numpy_active() else 0.0)
+    assert counters["replay.kernel.transactions"] > 0
+    assert counters["replay.kernel.events"] > 0
+    assert (
+        counters["replay.kernel.batched_reads"] + counters["replay.kernel.scalar_reads"]
+        > 0
+    )
+
+
+def test_kernel_totals_accumulate_across_cells():
+    replay_cell(_spec(CachePolicy.FACE), TraceRecorder(TINY, 42))
+    replay_cell(_spec(CachePolicy.LC), TraceRecorder(TINY, 42))
+    totals = kernel_totals()
+    assert totals["cells"] == 2
+    assert totals["transactions"] > 0
+    assert totals["vectorized"] == numpy_active()
+
+
+# -- shared-memory trace lifecycle -------------------------------------------
+
+
+def _attach_and_check(handle, expected_ops, expected_args, queue):
+    trace = handle.attach()
+    queue.put(
+        bytes(trace.ops) == bytes(expected_ops)
+        and list(trace.args) == list(expected_args)
+        and trace.n_transactions == handle.n_transactions
+    )
+    trace.close()
+
+
+def _attach_and_crash(handle):
+    handle.attach()
+    os._exit(3)  # simulated worker crash: no close, no cleanup
+
+
+def test_shared_trace_attach_in_child_and_unlink_on_release():
+    recorder = TraceRecorder(TINY, 42)
+    trace = recorder.ensure(30)
+    handle = publish_boundary_trace(trace)
+    assert handle is not None
+    try:
+        queue = multiprocessing.Queue()
+        child = multiprocessing.Process(
+            target=_attach_and_check, args=(handle, trace.ops, trace.args, queue)
+        )
+        child.start()
+        assert queue.get(timeout=30) is True
+        child.join(timeout=30)
+        assert child.exitcode == 0
+    finally:
+        handle.acquire()
+        handle.release()
+    assert leaked_shared_segments() == []
+
+
+def test_shared_trace_unlink_after_worker_crash():
+    recorder = TraceRecorder(TINY, 42)
+    handle = publish_boundary_trace(recorder.ensure(30))
+    assert handle is not None
+    child = multiprocessing.Process(target=_attach_and_crash, args=(handle,))
+    child.start()
+    child.join(timeout=30)
+    assert child.exitcode == 3
+    # The crashed attacher must not have taken the segment down with it,
+    # and the owner's unlink still works afterwards.
+    handle.acquire()
+    handle.release()
+    assert leaked_shared_segments() == []
+    handle.unlink()  # idempotent
+
+
+def test_shared_recorder_raises_when_exhausted():
+    recorder = TraceRecorder(TINY, 42)
+    shared = SharedTraceRecorder(TINY, 42, recorder.ensure(30))
+    assert shared.ensure(30).n_transactions >= 30
+    with pytest.raises(SharedTraceExhausted):
+        shared.ensure(31_000)
+
+
+def test_replay_shared_cell_reports_exhaustion_instead_of_raising():
+    recorder = TraceRecorder(TINY, 42)
+    handle = publish_boundary_trace(recorder.ensure(30))  # far below FAST's need
+    assert handle is not None
+    try:
+        spec = dataclasses.replace(_spec(CachePolicy.FACE), shared_trace=handle)
+        outcome = replay_shared_cell(spec)
+        assert isinstance(outcome, _SharedReplayFailed)
+    finally:
+        handle.acquire()
+        handle.release()
+    assert leaked_shared_segments() == []
+
+
+def test_attached_recorder_caches_per_segment():
+    recorder = TraceRecorder(TINY, 42)
+    handle = publish_boundary_trace(recorder.ensure(800))
+    assert handle is not None
+    try:
+        spec = dataclasses.replace(_spec(CachePolicy.FACE), shared_trace=handle)
+        first = attached_recorder(spec)
+        assert attached_recorder(spec) is first  # one attach per process
+        replayed = dataclasses.asdict(replay_cell(spec, first))
+        direct = dataclasses.asdict(replay_cell(spec, TraceRecorder(TINY, 42)))
+        replayed.pop("obs"), direct.pop("obs")
+        assert replayed == direct
+    finally:
+        clear_recorders()  # drop the attachment's views before unlinking
+        handle.acquire()
+        handle.release()
+    assert leaked_shared_segments() == []
+
+
+# -- multi-worker sweeps over one shared segment -----------------------------
+
+
+def _shared_grid() -> list[CellSpec]:
+    return [
+        _spec(policy, fraction=fraction)
+        for policy in (CachePolicy.FACE, CachePolicy.FACE_GSC)
+        for fraction in (0.06, 0.10)
+    ]
+
+
+def test_multiworker_sweep_bit_identical_and_leak_free():
+    specs = _shared_grid()
+    serial = run_cells(specs, jobs=1, fast=True)
+    clear_recorders()
+    was_enabled = OBS.enabled
+    OBS.clear()
+    OBS.enable()
+    try:
+        parallel = run_cells(specs, jobs=2, fast=True)
+        shared_cells = OBS.counter("replay.shared.cells").value
+        exhausted = OBS.counter("replay.shared.exhausted").value
+    finally:
+        OBS.clear()
+        if not was_enabled:
+            OBS.disable()
+    assert list(parallel) == [s.key for s in specs]
+    for key in serial:
+        assert dataclasses.asdict(parallel[key]) == dataclasses.asdict(serial[key])
+    # Every cell was served from the shared segment (the bound covers the
+    # whole group, so the exhaustion fallback is never the expected route).
+    assert shared_cells + exhausted == len(specs)
+    assert shared_cells > 0
+    assert leaked_shared_segments() == []
+
+
+def _crashing_worker(spec):
+    os._exit(13)  # pragma: no cover - runs in a pool worker
+
+
+def test_multiworker_sweep_survives_worker_crash(monkeypatch):
+    # Kill every pool worker at the first shared replay: the pool breaks,
+    # the parent re-replays everything itself, results stay complete and
+    # identical, and no /dev/shm segment outlives the sweep.
+    specs = _shared_grid()
+    serial = run_cells(specs, jobs=1, fast=True)
+    clear_recorders()
+    monkeypatch.setattr(parallel_mod, "replay_shared_cell", _crashing_worker)
+    with pytest.warns(RuntimeWarning):
+        parallel = run_cells(specs, jobs=2, fast=True)
+    for key in serial:
+        assert dataclasses.asdict(parallel[key]) == dataclasses.asdict(serial[key])
+    assert leaked_shared_segments() == []
+
+
+# -- post-warm-up fork reuse ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "policy", [CachePolicy.FACE, CachePolicy.LC, CachePolicy.NONE], ids=lambda p: p.value
+)
+def test_warm_fork_second_replay_bit_identical(policy):
+    # The first replay of a cell captures a post-warm-up fork; an identical
+    # second replay adopts it (hits == 1) and must produce the exact same
+    # RunResult as the replay that really warmed up.
+    recorder = TraceRecorder(TINY, 42)
+    first = dataclasses.asdict(replay_cell(_spec(policy), recorder))
+    second = dataclasses.asdict(replay_cell(_spec(policy), recorder))
+    assert warm_fork_stats() == {"hits": 1, "misses": 1}
+    first.pop("obs"), second.pop("obs")
+    assert second == first
+
+
+def test_warm_fork_crash_scenario_bit_identical():
+    # Crash cells exercise the fork hardest: recovery replays the durable
+    # WAL, which forked systems *share* record-for-record.
+    scenario = CrashRecoveryScenario(checkpoint_interval=1.0, warmup_min=40, warmup_max=600)
+    spec = dataclasses.replace(_spec(CachePolicy.FACE), scenario=scenario)
+    recorder = TraceRecorder(TINY, 42)
+    first = dataclasses.asdict(replay_cell(spec, recorder))
+    second = dataclasses.asdict(replay_cell(spec, recorder))
+    assert warm_fork_stats()["hits"] == 1
+    first.pop("obs"), second.pop("obs")
+    assert second == first
+
+
+def test_warm_fork_parity_on_legacy_loops(monkeypatch):
+    monkeypatch.setenv("REPRO_REPLAY_KERNEL", "0")
+    recorder = TraceRecorder(TINY, 42)
+    first = dataclasses.asdict(replay_cell(_spec(CachePolicy.LC), recorder))
+    second = dataclasses.asdict(replay_cell(_spec(CachePolicy.LC), recorder))
+    assert warm_fork_stats() == {"hits": 1, "misses": 1}
+    first.pop("obs"), second.pop("obs")
+    assert second == first
+
+
+def test_warm_fork_ineligible_with_obs_enabled():
+    # OBS runs must execute warm-up for real (post-reset counter set),
+    # so they never consult the fork cache at all.
+    recorder = TraceRecorder(TINY, 42)
+    replay_cell(_spec(CachePolicy.FACE, collect_obs=True), recorder)
+    replay_cell(_spec(CachePolicy.FACE, collect_obs=True), recorder)
+    assert warm_fork_stats() == {"hits": 0, "misses": 0}
+
+
+def test_warm_fork_env_disable(monkeypatch):
+    monkeypatch.setenv("REPRO_REPLAY_WARMFORK", "0")
+    recorder = TraceRecorder(TINY, 42)
+    first = dataclasses.asdict(replay_cell(_spec(CachePolicy.FACE), recorder))
+    second = dataclasses.asdict(replay_cell(_spec(CachePolicy.FACE), recorder))
+    assert warm_fork_stats() == {"hits": 0, "misses": 0}
+    first.pop("obs"), second.pop("obs")
+    assert second == first  # determinism holds with the cache off too
+
+
+def test_fork_dbms_shares_wal_records_not_spines():
+    # fork_dbms must share the immutable bulk (WAL records, page images)
+    # while giving the clone private mutable containers.
+    recorder = TraceRecorder(TINY, 42)
+    spec = _spec(CachePolicy.FACE)
+    from repro.sim.replay import ReplayRunner
+
+    runner = ReplayRunner(spec.config, recorder)
+    runner.warm_up(40, 600)
+    clone = fork_dbms(runner.dbms)
+    original = runner.dbms
+    assert clone is not original
+    assert clone.log._durable is not original.log._durable
+    assert len(clone.log._durable) == len(original.log._durable)
+    for ours, theirs in zip(clone.log._durable[:50], original.log._durable[:50]):
+        assert ours is theirs  # records shared, never copied
+    assert clone.buffer._frames is not original.buffer._frames
+    # The clone's pool and its policy see the *same* frame objects.
+    policy_frames = {id(f) for f in clone.buffer._policy._frames.values()}
+    pool_frames = {id(f) for f in clone.buffer._frames.values()}
+    assert policy_frames == pool_frames
+    # Mutating the clone must not leak into the original.
+    clone.log._durable.append(None)
+    assert original.log._durable[-1] is not None
+
+
+# -- one-time preparation accounting -----------------------------------------
+
+
+def test_prepare_replay_reports_per_group_cost():
+    specs = _shared_grid() + [_spec(CachePolicy.LC, seed=9)]
+    assert not has_recorder(TINY, 42)
+    report = prepare_replay(specs)
+    assert has_recorder(TINY, 42) and has_recorder(TINY, 9)
+    assert len(report["groups"]) == 2
+    assert report["seconds"] >= sum(g["seconds"] for g in report["groups"]) * 0.5
+    for group in report["groups"]:
+        assert group["already_live"] is False
+        assert group["seconds"] >= 0.0
+    # Idempotent: a second call finds the recorders live and is ~free.
+    again = prepare_replay(specs)
+    assert all(g["already_live"] for g in again["groups"])
