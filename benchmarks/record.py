@@ -35,6 +35,16 @@ exits non-zero with ``--strict``).  Intended uses:
   the persisted trace's compression ratio — the two acceptance gates
   (``parity`` true, ``compression_ratio >= 3``) fail the run under
   ``--strict``
+* ``--latency`` records the closed-loop service grid instead: a TINY
+  {policy} x {client count} matrix (1 -> 50 -> 500 -> 5000 clients) run as
+  :class:`~repro.sim.service.ServiceScenario` cells over the shared
+  boundary trace, written to ``BENCH_latency.json`` with per-cell
+  throughput + p50/p95/p99 latency, each policy's saturation knee (the
+  first client count whose throughput gain falls under
+  ``KNEE_GAIN_THRESHOLD``), and a replay-parity flag — the acceptance
+  gates (``parity`` true, monotone p50 <= p95 <= p99 per cell, every
+  policy saturating within the swept range) fail the run under
+  ``--strict``
 * ``--recovery`` records the Table-6-style crash/restart grid instead: a
   BENCH-scale {policy} x {checkpoint interval} crash matrix run as
   :class:`~repro.sim.scenario.CrashRecoveryScenario` cells over the shared
@@ -81,6 +91,7 @@ from repro.tpcc.scale import BENCH, TINY  # noqa: E402
 RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
 ABLATION_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_ablation.json"
 RECOVERY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_recovery.json"
+LATENCY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_latency.json"
 HISTORY_LIMIT = 20
 #: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
 REGRESSION_TOLERANCE = 0.30
@@ -451,6 +462,117 @@ def ablation_warnings(record: dict) -> list[str]:
     return warnings
 
 
+# -- latency record ----------------------------------------------------------
+
+#: The closed-loop service grid: two policies (the paper's protagonist and
+#: its strongest baseline) under a client-count ladder spanning the paper's
+#: 50-client reference setup up to 100x past it, every cell replaying the
+#: single (TINY, SEED) boundary trace.  The measured transaction count must
+#: comfortably exceed the largest client count, or the "ladder" degenerates
+#: into one burst per client.
+LATENCY_POLICIES = ("face+gsc", "lc")
+LATENCY_CLIENTS = (1, 50, 500, 5000)
+SMOKE_LATENCY_CLIENTS = (1, 8)
+LATENCY_MEASURE_TX = 6000
+SMOKE_LATENCY_MEASURE_TX = 400
+#: A policy's knee is the first client count whose throughput gain over the
+#: previous rung falls below this fraction — past it, added clients buy
+#: queueing delay, not throughput.
+KNEE_GAIN_THRESHOLD = 0.10
+
+
+def locate_knee(points: list[tuple[int, float]]) -> int | None:
+    """First client count whose tps gain over the previous rung is < 10 %.
+
+    ``points`` is ``[(n_clients, tps), ...]`` in ascending client order.
+    Returns ``None`` when throughput is still climbing at the last rung
+    (the knee lies beyond the swept range).
+    """
+    for (_, prev_tps), (clients, tps) in zip(points, points[1:]):
+        if prev_tps > 0 and (tps - prev_tps) / prev_tps < KNEE_GAIN_THRESHOLD:
+            return clients
+    return None
+
+
+def run_latency_record(jobs: int, smoke: bool) -> dict:
+    """Run the service grid via replay; record latency ladders + knees."""
+    from repro.sim.ablation import AblationStudy, verify_parity
+    from repro.sim.experiment import ExperimentConfig
+
+    clients = SMOKE_LATENCY_CLIENTS if smoke else LATENCY_CLIENTS
+    base = ExperimentConfig(
+        scale=TINY,
+        seed=SEED,
+        scenario="service",
+        measure_transactions=(
+            SMOKE_LATENCY_MEASURE_TX if smoke else LATENCY_MEASURE_TX
+        ),
+    )
+    study = AblationStudy(
+        base, {"policy": LATENCY_POLICIES, "n_clients": clients}
+    )
+    results = study.run(jobs=jobs, fast=True)
+    parity, mismatched = verify_parity(study, results, sample=1 if smoke else 2)
+
+    ladders = {}
+    knees = {}
+    for policy in LATENCY_POLICIES:
+        points = [
+            (n, results.cells[(policy, n)].tps) for n in clients
+        ]
+        ladders[policy] = [
+            {
+                "n_clients": n,
+                "tps": round(r.tps, 2),
+                "tpmc": round(r.tpmc, 2),
+                "p50_ms": round(r.p50_seconds * 1000.0, 4),
+                "p95_ms": round(r.p95_seconds * 1000.0, 4),
+                "p99_ms": round(r.p99_seconds * 1000.0, 4),
+            }
+            for n in clients
+            for r in (results.cells[(policy, n)],)
+        ]
+        knees[policy] = locate_knee(points)
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "smoke" if smoke else "full",
+        **results.to_record(),
+        "replay_parity": parity,
+        "clients": list(clients),
+        "ladders": ladders,
+        "knees": knees,
+    }
+    if mismatched:
+        record["parity_mismatches"] = [list(key) for key in mismatched]
+    return record
+
+
+def latency_warnings(record: dict) -> list[str]:
+    warnings = []
+    if not record.get("replay_parity", False):
+        warnings.append(
+            "service replay results are NOT bit-identical to full execution"
+        )
+    for cell in record.get("cells", []):
+        if not cell["p50_ms"] <= cell["p95_ms"] <= cell["p99_ms"]:
+            warnings.append(
+                f"cell {cell['key']} has non-monotone percentiles: "
+                f"p50 {cell['p50_ms']}ms p95 {cell['p95_ms']}ms "
+                f"p99 {cell['p99_ms']}ms"
+            )
+    if record.get("mode") == "full":
+        # The full ladder reaches 100x past each policy's knee; a missing
+        # knee means throughput never saturated — the model is broken.
+        for policy, knee in record.get("knees", {}).items():
+            if knee is None:
+                warnings.append(
+                    f"policy {policy} never saturated across "
+                    f"{record['clients']} clients (no knee located)"
+                )
+    return warnings
+
+
 # -- recovery record ---------------------------------------------------------
 
 #: The crash/restart grid: every cell shares one (BENCH, SEED) boundary
@@ -558,14 +680,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--recovery", action="store_true",
                         help="record the crash/restart grid to "
                              "BENCH_recovery.json instead of the sweep")
+    parser.add_argument("--latency", action="store_true",
+                        help="record the closed-loop service grid "
+                             "(throughput + tail latency vs client count) "
+                             "to BENCH_latency.json instead of the sweep")
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
-    if args.ablation and args.recovery:
-        parser.error("--ablation and --recovery are mutually exclusive")
+    exclusive = [
+        name for name, on in
+        (("--ablation", args.ablation), ("--recovery", args.recovery),
+         ("--latency", args.latency))
+        if on
+    ]
+    if len(exclusive) > 1:
+        parser.error(f"{' and '.join(exclusive)} are mutually exclusive")
     if args.recovery:
         default_output = RECOVERY_RECORD_PATH
     elif args.ablation:
         default_output = ABLATION_RECORD_PATH
+    elif args.latency:
+        default_output = LATENCY_RECORD_PATH
     else:
         default_output = RECORD_PATH
     output = args.output or default_output
@@ -581,6 +715,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.ablation:
         record = run_ablation_record(args.jobs, args.smoke)
         warnings = ablation_warnings(record)
+    elif args.latency:
+        record = run_latency_record(args.jobs, args.smoke)
+        warnings = latency_warnings(record)
     else:
         record = run_record(args.jobs, args.smoke, collect_obs=args.obs,
                             fast=args.fast)
@@ -593,7 +730,7 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps({"latest": record, "history": history}, indent=2) + "\n"
     )
 
-    if args.ablation or args.recovery:
+    if args.ablation or args.recovery or args.latency:
         print(f"wrote {output}")
         print(f"  cells: {record['n_cells']}  mode: {record['mode']}  "
               f"axes: {' x '.join(record['axes'])}")
@@ -604,6 +741,14 @@ def main(argv: list[str] | None = None) -> int:
             t = record["trace"]
             print(f"  trace: {t['raw_bytes']} raw -> {t['body_bytes']} "
                   f"compressed ({t['compression_ratio']}x)")
+        for policy, ladder in record.get("ladders", {}).items():
+            knee = record["knees"].get(policy)
+            rungs = "  ".join(
+                f"{r['n_clients']}cl {r['tps']:,.0f}tps p95 {r['p95_ms']:.1f}ms"
+                for r in ladder
+            )
+            print(f"  {policy}: {rungs}  "
+                  f"knee: {knee if knee is not None else 'beyond range'}")
         for entry in record.get("speedups", []):
             vs = "  ".join(
                 f"{speedup}x vs {policy}"

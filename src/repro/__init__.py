@@ -40,6 +40,8 @@ from repro.sim.scenario import (
     CrashRecoveryScenario,
     CrashRun,
     ScenarioResult,
+    ServiceResult,
+    ServiceScenario,
     SteadyStateScenario,
 )
 from repro.sim.sweep import Sweep, SweepResults
@@ -66,6 +68,8 @@ __all__ = [
     "RunResult",
     "ScaleProfile",
     "ScenarioResult",
+    "ServiceResult",
+    "ServiceScenario",
     "SimulatedDBMS",
     "SteadyStateScenario",
     "Sweep",

@@ -10,10 +10,15 @@ Commands
              (admission, sync, scan depth, ...); prints per-axis
              sensitivity tables (also ``--json``); ``--recovery`` makes
              every cell a crash/restart measurement (Table 6 style)
+``serve``    closed-loop concurrent-client measurement: N clients with
+             think time over per-device FIFO queues; prints throughput and
+             p50/p95/p99 latency per ``(policy, clients)`` cell
 ``stats``    one measured run with observability on; prints every internal
              metric plus the derived Table 3 figures (also ``--json``/``--csv``);
              ``--crash`` swaps in a crash/restart scenario and surfaces the
-             ``recovery.*`` metrics
+             ``recovery.*`` metrics; ``--clients N`` swaps in a closed-loop
+             service scenario and surfaces latency columns plus the
+             ``service.*`` metrics
 
 All output is plain text / markdown; every command is deterministic for a
 given ``--seed``.  ``run`` and ``sweep`` execute their independent cells in
@@ -26,7 +31,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.report import restart_report_table, run_result_table
+from repro.analysis.report import (
+    restart_report_table,
+    run_result_table,
+    service_result_table,
+)
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import CachePolicy, scaled_reference_config
 from repro.flashcache.registry import available_policies, get_policy_entry
@@ -145,6 +154,42 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.sim.experiment import ExperimentConfig
+
+    base = ExperimentConfig(
+        scale=_scale(args.scale),
+        seed=args.seed,
+        cache_fraction=args.cache_fraction,
+        measure_transactions=args.transactions,
+        warmup_max=50_000,
+        scenario="service",
+        think_time_ms=args.think_ms,
+        max_inflight=args.max_inflight,
+    )
+    specs = [
+        CellSpec.from_config((name, n), base.with_(policy=name, n_clients=n))
+        for name in args.policies
+        for n in args.clients
+    ]
+    cells = run_cells(
+        specs,
+        jobs=args.jobs,
+        progress=progress_printer(sys.stderr),
+        fast=args.fast,
+    )
+    if args.fast:
+        _report_fast_path()
+    print(
+        service_result_table(
+            list(cells.values()),
+            title=f"Closed-loop service ({args.transactions} tx per cell, "
+            f"think {args.think_ms:g} ms)",
+        )
+    )
+    return 0
+
+
 def cmd_devices(args) -> int:
     import random
 
@@ -220,6 +265,48 @@ def cmd_stats(args) -> int:
                 "Recovery metrics",
                 ["metric", "value"],
                 recovery_rows,
+                width=44,
+            ))
+        print(format_table(
+            "All metrics (measured region)",
+            ["metric", "value"],
+            [(name, f"{flat[name]:g}") for name in sorted(flat)],
+            width=44,
+        ))
+        return 0
+
+    if args.clients:
+        # Service mode: run the closed-loop N-client scenario instead of a
+        # single-stream measurement and report latency, not Table 3.
+        from repro.sim.scenario import ServiceScenario
+
+        scenario = ServiceScenario(
+            n_clients=args.clients,
+            think_time_ms=args.think_ms,
+            measure_transactions=args.transactions,
+            warmup_max=50_000,
+        )
+        service = scenario.execute(runner)
+        if args.fast:
+            save_recorded_traces()
+        snap = OBS.snapshot()
+        if args.json:
+            print(snap.to_json())
+            return 0
+        if args.csv:
+            rows = snap.to_csv(args.csv)
+            print(f"wrote {rows} metrics to {args.csv}", file=sys.stderr)
+        print(service_result_table([service]))
+        flat = snap.as_flat()
+        service_rows = [
+            (name, f"{flat[name]:g}")
+            for name in sorted(flat) if name.startswith("service.")
+        ]
+        if service_rows:
+            print(format_table(
+                "Service metrics",
+                ["metric", "value"],
+                service_rows,
                 width=44,
             ))
         print(format_table(
@@ -433,6 +520,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "fast path (bit-identical restart reports)")
     recover.set_defaults(func=cmd_recover)
 
+    serve = sub.add_parser(
+        "serve",
+        help="closed-loop concurrent-client latency measurement",
+        description="Measure each policy under N closed-loop clients: the "
+        "recorded per-transaction resource demands are redistributed across "
+        "the clients through per-device FIFO queues, and the table reports "
+        "throughput plus p50/p95/p99 transaction latency per cell.",
+    )
+    serve.add_argument("policies", nargs="+", choices=sorted(_POLICY_NAMES))
+    serve.add_argument("--clients", type=int, nargs="+", default=[1, 50, 500],
+                       help="closed-loop client counts to sweep "
+                            "(default: 1 50 500)")
+    serve.add_argument("--think-ms", dest="think_ms", type=float, default=0.0,
+                       help="per-client think time between transactions in "
+                            "milliseconds (default 0)")
+    serve.add_argument("--max-inflight", dest="max_inflight", type=int,
+                       default=None, metavar="N",
+                       help="admission-control cap on concurrently executing "
+                            "transactions (default: unlimited)")
+    serve.add_argument("--transactions", type=int, default=2000,
+                       help="measured transactions per cell (default 2000)")
+    serve.add_argument("--fast", action="store_true",
+                       help="serve cells from the trace-replay fast path")
+    serve.set_defaults(func=cmd_serve)
+
     devices = sub.add_parser("devices", help="device-model microbenchmark")
     devices.add_argument("--ops", type=int, default=2000)
     devices.set_defaults(func=cmd_devices)
@@ -507,6 +619,14 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--interval", type=float, default=2.0,
                        help="checkpoint interval for --crash in simulated "
                             "seconds (default 2.0)")
+    stats.add_argument("--clients", type=int, default=0, metavar="N",
+                       help="run a closed-loop service scenario with N "
+                            "clients instead of a steady measurement and "
+                            "surface latency columns plus the service.* "
+                            "metrics")
+    stats.add_argument("--think-ms", dest="think_ms", type=float, default=0.0,
+                       help="per-client think time for --clients, in "
+                            "milliseconds (default 0)")
     stats.set_defaults(func=cmd_stats)
     return parser
 

@@ -138,14 +138,21 @@ class HistogramSnapshot:
     def quantile(self, q: float) -> float:
         """Approximate quantile: the upper bound of the bucket holding it.
 
-        Returns ``inf`` when the quantile falls in the overflow bucket and
-        0.0 on an empty histogram.
+        The quantile is read at rank ``max(1, q * count)`` — the rank floor
+        makes ``quantile(0.0)`` the first *non-empty* bucket's bound (the
+        minimum observation, to bucket resolution) rather than the lowest
+        configured bound regardless of data.  Returns ``inf`` when the
+        quantile falls in the overflow bucket and 0.0 on an empty
+        histogram.  Exact to one bucket width; merged snapshots (e.g. a
+        sweep's cells folded with :meth:`merge`) answer quantiles over the
+        combined population, which mid-point or interpolating estimators
+        cannot do without the raw samples.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
-        rank = q * self.count
+        rank = max(1.0, q * self.count)
         seen = 0
         for bound, n in zip(self.bounds, self.counts):
             seen += n

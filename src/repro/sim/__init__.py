@@ -7,8 +7,10 @@ execution engine (:mod:`~repro.sim.parallel`), crash scheduling for the
 Section 5.5 protocol (:mod:`~repro.sim.crashes`), windowed throughput
 series for Figure 6 (:mod:`~repro.sim.metrics`), I/O tracing and the
 boundary-trace codec (:mod:`~repro.sim.trace`), the declarative
-:class:`~repro.sim.experiment.ExperimentConfig`, and the replay-driven
-ablation engine (:mod:`~repro.sim.ablation`).  Everything is deterministic
+:class:`~repro.sim.experiment.ExperimentConfig`, the replay-driven
+ablation engine (:mod:`~repro.sim.ablation`), and the closed-loop
+concurrent-client service layer (:mod:`~repro.sim.service`: N clients,
+per-device FIFO queues, p50/p95/p99 latency).  Everything is deterministic
 under a seed, and sweep cells carry optional observability snapshots
 (``collect_obs``).
 """
@@ -26,6 +28,17 @@ from repro.sim.parallel import (
     run_cells,
 )
 from repro.sim.runner import ExperimentRunner, RunResult, run_steady_state
+from repro.sim.scenario import (
+    CrashRecoveryScenario,
+    ServiceScenario,
+    SteadyStateScenario,
+)
+from repro.sim.service import (
+    ServiceResult,
+    ServiceSimulation,
+    TxnDemand,
+    record_demands,
+)
 from repro.sim.sweep import Sweep, SweepResults
 from repro.sim.trace import (
     IOTracer,
@@ -40,11 +53,16 @@ __all__ = [
     "AblationStudy",
     "CellProgress",
     "CellSpec",
+    "CrashRecoveryScenario",
     "CrashRun",
     "ExperimentConfig",
     "ExperimentRunner",
     "IOTracer",
     "RunResult",
+    "ServiceResult",
+    "ServiceScenario",
+    "ServiceSimulation",
+    "SteadyStateScenario",
     "Sweep",
     "SweepResults",
     "ThroughputSample",
@@ -55,6 +73,7 @@ __all__ = [
     "derive_cell_seed",
     "encode_boundary",
     "progress_printer",
+    "record_demands",
     "replay",
     "run_cell",
     "run_cells",

@@ -47,6 +47,7 @@ from repro.sim.experiment import ExperimentConfig
 from repro.sim.parallel import CellProgress, CellSpec, run_cell, run_cells
 from repro.sim.runner import RunResult
 from repro.sim.scenario import CrashRun, ScenarioResult
+from repro.sim.service import ServiceResult
 
 
 @dataclass(frozen=True)
@@ -263,11 +264,14 @@ class AblationStudy:
 class AblationResults:
     """A completed grid plus its per-axis marginal reductions.
 
-    Works for both result kinds: a steady grid holds
+    Works for every result kind: a steady grid holds
     :class:`~repro.sim.runner.RunResult` cells and defaults its reductions
     to throughput metrics; a crash grid (base experiment with
     ``scenario="crash"``) holds :class:`~repro.sim.scenario.CrashRun` cells
-    and defaults to the Table 6 restart metrics.
+    and defaults to the Table 6 restart metrics; a service grid
+    (``scenario="service"``) holds
+    :class:`~repro.sim.service.ServiceResult` cells and defaults to
+    throughput plus tail latency.
     """
 
     study: AblationStudy
@@ -284,6 +288,11 @@ class AblationResults:
         return any(isinstance(r, CrashRun) for r in self.cells.values())
 
     @property
+    def is_service(self) -> bool:
+        """True when the grid's cells are closed-loop service measurements."""
+        return any(isinstance(r, ServiceResult) for r in self.cells.values())
+
+    @property
     def default_metric(self) -> str:
         return "restart_seconds" if self.is_crash else "tpmc"
 
@@ -291,6 +300,8 @@ class AblationResults:
     def default_metrics(self) -> tuple[str, ...]:
         if self.is_crash:
             return ("restart_seconds", "flash_read_fraction", "redo_applied")
+        if self.is_service:
+            return ("tpmc", "p95_seconds", "p99_seconds")
         return ("tpmc", "flash_hit_rate", "write_reduction")
 
     def sensitivity(
@@ -372,6 +383,24 @@ class AblationResults:
                 "transactions_before_crash": result.transactions_before_crash,
                 "checkpoints_before_crash": result.checkpoints_before_crash,
                 "crash_wall_seconds": round(result.crash_wall_seconds, 4),
+            }
+        if isinstance(result, ServiceResult):
+            return {
+                "key": list(key),
+                "n_clients": result.n_clients,
+                "tpmc": round(result.tpmc, 2),
+                "tps": round(result.tps, 2),
+                "p50_ms": round(result.p50_seconds * 1000.0, 4),
+                "p95_ms": round(result.p95_seconds * 1000.0, 4),
+                "p99_ms": round(result.p99_seconds * 1000.0, 4),
+                "mean_ms": round(result.latency_mean * 1000.0, 4),
+                "max_ms": round(result.latency_max * 1000.0, 4),
+                "bottleneck": result.bottleneck,
+                "utilization": {
+                    name: round(value, 4)
+                    for name, value in result.utilization.items()
+                },
+                "sim_seconds": round(result.sim_seconds, 4),
             }
         return {
             "key": list(key),

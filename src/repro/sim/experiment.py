@@ -99,16 +99,33 @@ class ExperimentConfig:
     #: a recovery-side knob, hence the ``ckpt_`` prefix.
     ckpt_segment_entries: int | None = None
 
+    # -- service protocol (scenario="service", closed-loop clients) ----------
+    #: Closed-loop client count for ``scenario="service"`` (the paper's
+    #: reference setup runs 50).  Ignored by steady/crash scenarios.
+    n_clients: int = 50
+    #: Per-client think time between transactions, in milliseconds.
+    think_time_ms: float = 0.0
+    #: Admission-control cap on concurrently executing transactions;
+    #: ``None`` admits every client immediately.
+    max_inflight: int | None = None
+
     def __post_init__(self) -> None:
         resolve_policy(self.policy)  # fail fast on unknown names
         if self.measure_transactions < 1:
             raise ConfigError("measure_transactions must be >= 1")
         if not 0.0 < self.cache_fraction <= 1.0:
             raise ConfigError("cache_fraction must be within (0, 1]")
-        if self.scenario not in ("steady", "crash"):
+        if self.scenario not in ("steady", "crash", "service"):
             raise ConfigError(
-                f"scenario must be 'steady' or 'crash', got {self.scenario!r}"
+                f"scenario must be 'steady', 'crash' or 'service', "
+                f"got {self.scenario!r}"
             )
+        if self.n_clients < 1:
+            raise ConfigError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.think_time_ms < 0.0:
+            raise ConfigError("think_time_ms must be >= 0")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1 when set")
         if self.scenario == "crash" and self.checkpoint_interval is None:
             raise ConfigError(
                 "a crash experiment needs a checkpoint_interval "
@@ -159,7 +176,11 @@ class ExperimentConfig:
     def build_scenario(self):
         """The run protocol this experiment describes (see
         :mod:`repro.sim.scenario`)."""
-        from repro.sim.scenario import CrashRecoveryScenario, SteadyStateScenario
+        from repro.sim.scenario import (
+            CrashRecoveryScenario,
+            ServiceScenario,
+            SteadyStateScenario,
+        )
 
         if self.scenario == "crash":
             return CrashRecoveryScenario(
@@ -168,6 +189,16 @@ class ExperimentConfig:
                 max_transactions=self.crash_max_transactions,
                 warmup_min=self.warmup_min,
                 warmup_max=self.warmup_max,
+            )
+        if self.scenario == "service":
+            return ServiceScenario(
+                n_clients=self.n_clients,
+                think_time_ms=self.think_time_ms,
+                measure_transactions=self.measure_transactions,
+                max_inflight=self.max_inflight,
+                warmup_min=self.warmup_min,
+                warmup_max=self.warmup_max,
+                checkpoint_interval=self.checkpoint_interval,
             )
         return SteadyStateScenario(
             measure_transactions=self.measure_transactions,

@@ -48,6 +48,7 @@ from repro.sim.runner import ExperimentRunner, RunResult
 from repro.sim.scenario import (
     CrashRecoveryScenario,
     ScenarioResult,
+    ServiceScenario,
     SteadyStateScenario,
 )
 from repro.sim.trace import SharedTraceHandle, publish_boundary_trace
@@ -90,8 +91,12 @@ class CellSpec:
     #: built from the measurement fields above; a
     #: :class:`CrashRecoveryScenario` turns the cell into a Table 6
     #: crash/restart measurement returning a
-    #: :class:`~repro.sim.scenario.CrashRun`.
-    scenario: SteadyStateScenario | CrashRecoveryScenario | None = None
+    #: :class:`~repro.sim.scenario.CrashRun`; a :class:`ServiceScenario`
+    #: turns it into a closed-loop N-client latency measurement returning
+    #: a :class:`~repro.sim.service.ServiceResult`.
+    scenario: (
+        SteadyStateScenario | CrashRecoveryScenario | ServiceScenario | None
+    ) = None
     #: Refcounted handle to a boundary trace the parent published into
     #: shared memory (see :mod:`repro.sim.trace`).  Set by the fast sweep
     #: engine on the copies it ships to replay workers — user code never
@@ -99,7 +104,9 @@ class CellSpec:
     #: lengths; the worker attaches a zero-copy view and replays from it.
     shared_trace: SharedTraceHandle | None = None
 
-    def resolve_scenario(self) -> SteadyStateScenario | CrashRecoveryScenario:
+    def resolve_scenario(
+        self,
+    ) -> SteadyStateScenario | CrashRecoveryScenario | ServiceScenario:
         """The scenario this cell executes (defaulting to steady state)."""
         if self.scenario is not None:
             return self.scenario
@@ -586,17 +593,25 @@ def progress_printer(stream: TextIO | None = None) -> Callable[[CellProgress], N
     """A ready-made ``progress`` callback: one status line per finished cell.
 
     Prints cells-completed, the cell key, the cell's headline figure
-    (throughput for steady cells, restart time for crash cells), and
-    wall-clock elapsed — enough to watch a long grid from a terminal::
+    (throughput for steady cells, restart time for crash cells, throughput
+    plus p95 latency for service cells), and wall-clock elapsed — enough to
+    watch a long grid from a terminal::
 
         [3/8] ('face', 1024): 4,312 tpmC  (12.4s elapsed)
         [4/8] ('face', 2.0): restart 0.84s  (13.1s elapsed)
+        [5/8] ('face', 50): 4,209 tpmC p95 38ms  (14.0s elapsed)
     """
+    from repro.sim.service import ServiceResult
+
     out = stream if stream is not None else sys.stderr
 
     def report(p: CellProgress) -> None:
         result = p.result
-        if isinstance(result, RunResult):
+        if isinstance(result, ServiceResult):
+            headline = (
+                f"{result.tpmc:,.0f} tpmC p95 {result.p95_seconds * 1000:,.0f}ms"
+            )
+        elif isinstance(result, RunResult):
             headline = f"{result.tpmc:,.0f} tpmC"
         else:
             headline = f"restart {result.restart_seconds:.2f}s"

@@ -17,7 +17,12 @@ is the single contract every engine drives.  Two scenarios ship:
   returning :class:`~repro.sim.runner.RunResult`;
 * :class:`CrashRecoveryScenario` — warm-up → run to the crash point →
   crash → restart, returning :class:`CrashRun` (which wraps the
-  :class:`~repro.recovery.restart.RestartReport`).
+  :class:`~repro.recovery.restart.RestartReport`);
+* :class:`~repro.sim.service.ServiceScenario` (defined in
+  :mod:`repro.sim.service`, re-exported here) — warm-up → record
+  per-transaction resource demands → run the closed-loop N-client
+  discrete-event simulation, returning
+  :class:`~repro.sim.service.ServiceResult`.
 
 A runner is anything with the stepping interface both
 :class:`~repro.sim.runner.ExperimentRunner` and
@@ -45,6 +50,19 @@ from repro.errors import ConfigError
 from repro.obs import OBS, RegistrySnapshot
 from repro.recovery.restart import RecoveryManager, RestartReport
 from repro.sim.runner import RunResult
+from repro.sim.service import ServiceResult, ServiceScenario
+
+__all__ = [
+    "Runner",
+    "CrashRun",
+    "ScenarioResult",
+    "SteadyStateScenario",
+    "CrashRecoveryScenario",
+    "ServiceScenario",
+    "ServiceResult",
+    "run_until_crash_point",
+    "crash_and_recover",
+]
 
 
 @runtime_checkable
@@ -94,7 +112,7 @@ class CrashRun:
 
 
 #: The picklable result union every scenario execution produces.
-ScenarioResult = Union[RunResult, CrashRun]
+ScenarioResult = Union[RunResult, CrashRun, ServiceResult]
 
 
 @dataclass(frozen=True)

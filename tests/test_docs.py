@@ -4,7 +4,8 @@ Two contracts keep the docs from rotting:
 
 * every module under ``src/repro`` carries a real module docstring (not a
   placeholder) — the package is meant to be read as much as run;
-* every ```python fenced block in README.md and docs/API.md actually
+* every ```python fenced block in README.md, docs/API.md and
+  docs/CONCURRENCY.md actually
   executes.  Blocks run top-to-bottom per file in one shared namespace
   (so a later snippet may build on an earlier one, exactly as a reader
   working through the file would), and a failure reports the file and
@@ -24,7 +25,11 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 
 #: Markdown files whose ```python blocks must execute.
-EXECUTABLE_DOCS = (REPO / "README.md", REPO / "docs" / "API.md")
+EXECUTABLE_DOCS = (
+    REPO / "README.md",
+    REPO / "docs" / "API.md",
+    REPO / "docs" / "CONCURRENCY.md",
+)
 
 #: Anything shorter than this is a placeholder, not documentation.
 MIN_DOCSTRING_CHARS = 60
@@ -32,6 +37,13 @@ MIN_DOCSTRING_CHARS = 60
 
 def _modules() -> list[Path]:
     return sorted(SRC.rglob("*.py"))
+
+
+def test_docstring_lint_covers_the_service_layer():
+    """The rglob sweep must pick up every ``repro.sim.service`` module —
+    guard against the lint silently narrowing its net."""
+    covered = {path.relative_to(SRC).as_posix() for path in _modules()}
+    assert "sim/service.py" in covered
 
 
 @pytest.mark.parametrize(
