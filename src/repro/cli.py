@@ -480,6 +480,157 @@ def cmd_ablate(args) -> int:
     return 0 if parity in (None, True) else 1
 
 
+def _scale_name(profile: ScaleProfile | None) -> str:
+    """Compact display name for a profile (``tiny``/``bench``/repr)."""
+    if profile == TINY:
+        return "tiny"
+    if profile == BENCH:
+        return "bench"
+    return repr(profile) if profile is not None else "?"
+
+
+def cmd_trace(args) -> int:
+    from repro.sim.replay import (
+        list_cached_traces,
+        prune_trace_cache,
+        remove_cached_traces,
+        trace_cache_dir,
+    )
+
+    cache_dir = trace_cache_dir()
+    if cache_dir is None:
+        print("trace cache disabled (REPRO_TRACE_CACHE)", file=sys.stderr)
+        return 1
+
+    if args.trace_command == "ls":
+        entries = list_cached_traces()
+        rows = [
+            (
+                entry["file"],
+                _scale_name(entry["scale_profile"]),
+                entry["seed"] if entry["seed"] is not None else "?",
+                f"{entry['n_transactions']:,}"
+                if entry["n_transactions"] is not None
+                else "?",
+                f"{entry['file_bytes'] / 1024:.0f}",
+                f"{entry['age_seconds'] / 3600:.1f}",
+            )
+            for entry in entries
+        ]
+        print(f"# trace cache: {cache_dir} ({len(entries)} file(s))",
+              file=sys.stderr)
+        if rows:
+            print(format_table(
+                "Cached boundary traces",
+                ["file", "scale", "seed", "tx", "KiB", "age h"],
+                rows,
+                width=16,
+            ))
+        return 0
+
+    if args.trace_command == "rm":
+        if not args.all and args.of_scale is None and args.of_seed is None:
+            raise SystemExit(
+                "trace rm needs --all or a --of-scale/--of-seed filter"
+            )
+        scale = _scale(args.of_scale) if args.of_scale else None
+        removed = remove_cached_traces(scale=scale, seed=args.of_seed)
+        print(f"removed {len(removed)} trace file(s)", file=sys.stderr)
+        return 0
+
+    # prune
+    if args.max_mb is None and args.max_age_days is None:
+        raise SystemExit("trace prune needs --max-mb and/or --max-age-days")
+    report = prune_trace_cache(
+        max_bytes=(
+            int(args.max_mb * 1024 * 1024) if args.max_mb is not None else None
+        ),
+        max_age_seconds=(
+            args.max_age_days * 86_400.0
+            if args.max_age_days is not None
+            else None
+        ),
+    )
+    print(
+        f"pruned {len(report['removed'])} file(s); kept {report['kept']} "
+        f"({report['kept_bytes'] / 1024:.0f} KiB)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_retarget(args) -> int:
+    import json
+
+    from repro.sim.replay import save_recorded_traces
+    from repro.sim.retarget import (
+        build_remap_table,
+        retarget_incompatibility,
+        verify_retarget,
+    )
+    from repro.tpcc.scale import page_geometry
+
+    donor = _scale(args.donor)
+    target = _scale(args.target)
+    if args.verify:
+        evidence = verify_retarget(
+            target,
+            donor,
+            seed=args.seed,
+            transactions=args.transactions,
+            cache_fraction=args.cache_fraction,
+        )
+        # The verification recorded a real donor (and a native reference)
+        # — persist them so later sweeps auto-discover the donor instead
+        # of paying the recording again.
+        save_recorded_traces()
+        if args.json:
+            print(json.dumps(evidence, indent=2))
+        else:
+            print(f"# retarget {args.donor} -> {args.target} "
+                  f"(seed {args.seed}, {args.transactions} tx)")
+            print(f"identity parity:  {evidence['identity_parity']}")
+            print(f"table shares:     "
+                  f"{'ok' if evidence['share_within_tolerance'] else 'FAIL'} "
+                  f"(worst delta "
+                  f"{max(s['share_delta'] for s in evidence['segments'].values()):.4f}"
+                  f" <= {evidence['tolerances']['table_share']})")
+            print(f"skew shape:       "
+                  f"{'ok' if evidence['decile_within_tolerance'] else 'FAIL'} "
+                  f"(weighted decile TV {evidence['weighted_decile_tv']:.4f}"
+                  f" <= {evidence['tolerances']['decile_tv']})")
+            print(f"hit ratios:       "
+                  f"{'ok' if evidence['hit_rates_within_tolerance'] else 'FAIL'} "
+                  f"(flash d {evidence['hit_rates']['flash_delta']:.4f}, "
+                  f"dram d {evidence['hit_rates']['dram_delta']:.4f}"
+                  f" <= {evidence['tolerances']['hit_rate']})")
+            print(f"passed:           {evidence['passed']}")
+        return 0 if evidence["passed"] else 1
+
+    # Compatibility / geometry report.
+    why = retarget_incompatibility(donor, target)
+    if why is not None:
+        print(f"{args.donor} cannot drive {args.target}: {why}")
+        return 1
+    table = build_remap_table(donor, target)
+    donor_pages = len(table)
+    target_pages = page_geometry(target)[-1].end_page
+    rows = [
+        (segment.name, segment.kind, segment.n_pages,
+         page_geometry(donor)[i].n_pages)
+        for i, segment in enumerate(page_geometry(target))
+    ]
+    print(f"# {args.donor} -> {args.target}: {donor_pages:,} donor pages "
+          f"compress onto {target_pages:,} target pages")
+    print(format_table(
+        "Per-segment page extents",
+        ["segment", "kind", f"{args.target} pages", f"{args.donor} pages"],
+        rows,
+        width=20,
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -628,6 +779,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-client think time for --clients, in "
                             "milliseconds (default 0)")
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="boundary-trace cache housekeeping (ls/rm/prune)",
+        description="Inspect and manage the persistent boundary-trace cache "
+        "(REPRO_TRACE_CACHE). Traces are derived state: removing one only "
+        "costs a re-record on next use.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_sub.add_parser("ls", help="list cached traces with scale/seed/age")
+    trace_rm = trace_sub.add_parser("rm", help="remove cached traces")
+    trace_rm.add_argument("--all", action="store_true",
+                          help="remove every cached trace")
+    trace_rm.add_argument("--of-scale", dest="of_scale", default=None,
+                          help="only traces recorded at this scale "
+                               "(tiny|bench)")
+    trace_rm.add_argument("--of-seed", dest="of_seed", type=int, default=None,
+                          help="only traces recorded with this seed")
+    trace_prune = trace_sub.add_parser(
+        "prune", help="bound the cache by size and/or age (oldest first)"
+    )
+    trace_prune.add_argument("--max-mb", dest="max_mb", type=float,
+                             default=None,
+                             help="keep the cache under this many MiB")
+    trace_prune.add_argument("--max-age-days", dest="max_age_days",
+                             type=float, default=None,
+                             help="drop traces older than this many days")
+    trace.set_defaults(func=cmd_trace)
+
+    retarget = sub.add_parser(
+        "retarget",
+        help="cross-scale trace retargeting: compatibility report / "
+             "--verify parity evidence",
+        description="Without --verify: report whether --donor's recording "
+        "can drive --target and show the per-segment page-extent mapping. "
+        "With --verify: run both parity tiers (identity bit-parity and the "
+        "statistical skew/hit-ratio gates) and exit 0 only if all pass.",
+    )
+    retarget.add_argument("--donor", default="bench",
+                          help="donor scale the recording comes from "
+                               "(default bench)")
+    retarget.add_argument("--target", default="tiny",
+                          help="target scale to retarget onto (default tiny)")
+    retarget.add_argument("--verify", action="store_true",
+                          help="run the two-tier parity check and emit the "
+                               "evidence (exit 1 on any gate failure)")
+    retarget.add_argument("--transactions", type=int, default=1500,
+                          help="measured transactions per verify run "
+                               "(default 1500)")
+    retarget.add_argument("--json", action="store_true",
+                          help="emit the full verify evidence as JSON")
+    retarget.set_defaults(func=cmd_retarget)
     return parser
 
 

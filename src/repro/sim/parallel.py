@@ -103,6 +103,12 @@ class CellSpec:
     #: sets it.  The pickled handle carries only the segment name and
     #: lengths; the worker attaches a zero-copy view and replays from it.
     shared_trace: SharedTraceHandle | None = None
+    #: Retarget this cell's replay stream from a *donor* recording at a
+    #: larger scale (see :mod:`repro.sim.retarget`).  ``None`` — the
+    #: default — records (or loads) natively at ``scale``, with automatic
+    #: donor discovery when no native source exists; an explicit profile
+    #: pins the donor and fails loudly if it is incompatible.
+    trace_donor: ScaleProfile | None = None
 
     def resolve_scenario(
         self,
@@ -140,6 +146,7 @@ class CellSpec:
             warmup_max=experiment.warmup_max,
             checkpoint_interval=experiment.checkpoint_interval,
             collect_obs=experiment.collect_obs,
+            trace_donor=experiment.trace_donor,
             # Steady experiments leave ``scenario=None`` so the spec's own
             # measurement fields (including any ``overrides``) stay
             # authoritative; crash experiments carry their protocol along.
@@ -467,10 +474,12 @@ def _run_cells_fast(
 
     Partitioning: a cell replays when it allows it (``replay_ok``) and the
     one-off recording cost amortises — either another cell shares its
-    ``(scale, seed)`` stream, or a trace for it already exists (live
-    recorder in this process, or the persistent cache).  Everything else
-    full-executes through :func:`run_cell_warm` (warm-state forks), with
-    the usual process-pool path when ``jobs`` allows.
+    ``(scale, seed, trace_donor)`` stream, or a replay source for it
+    already exists (live recorder in this process, the persistent cache,
+    or — via :mod:`repro.sim.retarget` — a compatible donor recording at a
+    larger scale).  Everything else full-executes through
+    :func:`run_cell_warm` (warm-state forks), with the usual process-pool
+    path when ``jobs`` allows.
 
     Replay distribution: with ``jobs > 1``, each ``(scale, seed)`` group's
     trace is extended once to the group's worst-case consumption (the max
@@ -484,29 +493,23 @@ def _run_cells_fast(
     every replay stays in the parent, exactly as before.  Results and
     callbacks keep the original spec order, like the full-execution engine.
     """
-    from repro.sim.replay import (
-        cached_trace_exists,
-        get_recorder,
-        has_recorder,
-        replay_cell,
-        save_recorded_traces,
-    )
+    from repro.sim.replay import replay_cell, save_recorded_traces
+    from repro.sim.retarget import replay_source_exists, resolve_recorder
 
     start = time.perf_counter()
     group_sizes: dict[tuple, int] = {}
     for spec in specs:
         if spec.replay_ok:
-            group = (spec.scale, spec.seed)
+            group = (spec.scale, spec.seed, spec.trace_donor)
             group_sizes[group] = group_sizes.get(group, 0) + 1
 
     replayed: list[CellSpec] = []
     executed: list[CellSpec] = []
     for spec in specs:
-        group = (spec.scale, spec.seed)
+        group = (spec.scale, spec.seed, spec.trace_donor)
         if spec.replay_ok and (
             group_sizes[group] >= 2
-            or has_recorder(spec.scale, spec.seed)
-            or cached_trace_exists(spec.scale, spec.seed)
+            or replay_source_exists(spec.scale, spec.seed, spec.trace_donor)
         ):
             replayed.append(spec)
         else:
@@ -519,14 +522,19 @@ def _run_cells_fast(
     jobs_n = resolve_jobs(jobs)
     groups: dict[tuple, list[CellSpec]] = {}
     for spec in replayed:
-        groups.setdefault((spec.scale, spec.seed), []).append(spec)
+        groups.setdefault((spec.scale, spec.seed, spec.trace_donor), []).append(
+            spec
+        )
 
     n_shared = 0
     n_exhausted = 0
+    n_retargeted = 0
     published: list[SharedTraceHandle] = []
     try:
-        for (scale, seed), members in groups.items():
-            recorder = get_recorder(scale, seed)
+        for (scale, seed, donor), members in groups.items():
+            recorder = resolve_recorder(scale, seed, donor)
+            if getattr(recorder, "donor_scale", None) is not None:
+                n_retargeted += len(members)
             handle = None
             if jobs_n > 1 and len(members) >= 2:
                 # Cover the group's worst case up front so no worker can
@@ -537,7 +545,10 @@ def _run_cells_fast(
                     spec.resolve_scenario().trace_bound() for spec in members
                 )
                 recorder.ensure(bound)
-                handle = publish_boundary_trace(recorder.longest_trace())
+                handle = publish_boundary_trace(
+                    recorder.longest_trace(),
+                    token=getattr(recorder, "fork_token", "native"),
+                )
             if handle is not None:
                 published.append(handle.acquire())
                 shared = [replace(s, shared_trace=handle) for s in members]
@@ -568,6 +579,8 @@ def _run_cells_fast(
             OBS.counter("replay.shared.cells").inc(n_shared)
         if n_exhausted:
             OBS.counter("replay.shared.exhausted").inc(n_exhausted)
+        if n_retargeted:
+            OBS.counter("replay.retarget.cells").inc(n_retargeted)
     save_recorded_traces()
 
     ordered: dict[tuple, ScenarioResult] = {}

@@ -338,6 +338,128 @@ def persisted_trace_stats(scale: ScaleProfile, seed: int) -> dict[str, int] | No
         return None
 
 
+# -- cache housekeeping ------------------------------------------------------
+
+
+def _read_trace_header(path: Path) -> dict[str, Any] | None:
+    """First (JSON) line of a persisted trace file, or None if unreadable."""
+    try:
+        with open(path, "rb") as fh:
+            header = json.loads(fh.readline().decode())
+    except (OSError, ValueError):
+        return None
+    return header if isinstance(header, dict) else None
+
+
+def list_cached_traces() -> list[dict[str, Any]]:
+    """Every persisted trace in the cache directory, oldest first.
+
+    Filenames are opaque hashes, so the listing comes from each file's
+    header line: scale repr (parsed back into ``scale_profile`` when it
+    round-trips), seed, transaction count and sizes.  Unparseable files
+    are listed too (``scale_profile`` None) so ``prune``/``rm --all`` can
+    still reclaim them.  Used by ``python -m repro trace ls`` and by
+    cross-scale donor discovery (:mod:`repro.sim.retarget`).
+    """
+    from repro.tpcc.scale import parse_scale
+
+    directory = trace_cache_dir()
+    if directory is None or not directory.is_dir():
+        return []
+    entries: list[dict[str, Any]] = []
+    now = time.time()
+    for path in directory.glob("trace-*.bin"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        header = _read_trace_header(path) or {}
+        scale_repr = header.get("scale")
+        entries.append(
+            {
+                "path": str(path),
+                "file": path.name,
+                "file_bytes": stat.st_size,
+                "age_seconds": max(0.0, now - stat.st_mtime),
+                "mtime": stat.st_mtime,
+                "version": header.get("version"),
+                "scale": scale_repr,
+                "scale_profile": (
+                    parse_scale(scale_repr) if isinstance(scale_repr, str) else None
+                ),
+                "seed": header.get("seed"),
+                "n_transactions": header.get("n_transactions"),
+                "raw_bytes": header.get("raw_bytes"),
+                "body_bytes": header.get("body_bytes"),
+            }
+        )
+    entries.sort(key=lambda entry: (entry["mtime"], entry["file"]))
+    return entries
+
+
+def remove_cached_traces(
+    scale: ScaleProfile | None = None, seed: int | None = None
+) -> list[str]:
+    """Delete matching persisted traces; returns the removed file names.
+
+    ``scale``/``seed`` filter the match (``None`` matches everything, so
+    calling with neither removes the whole cache).  Files whose headers
+    cannot be parsed match only unfiltered removals.
+    """
+    removed: list[str] = []
+    for entry in list_cached_traces():
+        if scale is not None and entry["scale_profile"] != scale:
+            continue
+        if seed is not None and entry["seed"] != seed:
+            continue
+        try:
+            os.remove(entry["path"])
+        except OSError:
+            continue
+        removed.append(entry["file"])
+    return removed
+
+
+def prune_trace_cache(
+    max_bytes: int | None = None, max_age_seconds: float | None = None
+) -> dict[str, Any]:
+    """Bound the trace cache by size and/or age (oldest removed first).
+
+    The cache directory otherwise grows without bound — every
+    ``(scale, seed)`` and format version ever recorded leaves a file.
+    Age-expired files go first; then, while the directory exceeds
+    ``max_bytes``, the oldest remaining files are removed.  Returns
+    ``{"removed": [names], "kept": n, "kept_bytes": total}``.
+    """
+    entries = list_cached_traces()
+    removed: list[str] = []
+
+    def _remove(entry: dict[str, Any]) -> None:
+        try:
+            os.remove(entry["path"])
+        except OSError:
+            return
+        removed.append(entry["file"])
+
+    kept = []
+    for entry in entries:
+        if max_age_seconds is not None and entry["age_seconds"] > max_age_seconds:
+            _remove(entry)
+        else:
+            kept.append(entry)
+    if max_bytes is not None:
+        total = sum(entry["file_bytes"] for entry in kept)
+        while kept and total > max_bytes:
+            entry = kept.pop(0)  # oldest first
+            total -= entry["file_bytes"]
+            _remove(entry)
+    return {
+        "removed": removed,
+        "kept": len(kept),
+        "kept_bytes": sum(entry["file_bytes"] for entry in kept),
+    }
+
+
 # -- recorder ---------------------------------------------------------------
 
 
@@ -350,6 +472,12 @@ class TraceRecorder:
     A persisted trace, once validated against a freshly recorded prefix,
     short-circuits recording entirely for lengths it covers.
     """
+
+    #: Warm-fork cache discriminator: native recordings and retargeted
+    #: streams at the same (scale, seed) are different byte streams, so
+    #: their post-warm-up states must never be interchanged (see
+    #: :class:`repro.sim.retarget.RetargetedTraceRecorder`).
+    fork_token = "native"
 
     def __init__(
         self, scale: ScaleProfile, seed: int, use_cache: bool | None = None
@@ -509,9 +637,14 @@ def save_recorded_traces() -> None:
 
 
 def clear_recorders() -> None:
-    """Drop all recorders (tests)."""
+    """Drop all recorders — native, attached and retargeted (tests)."""
     _RECORDERS.clear()
     _ATTACHED.clear()
+    try:
+        from repro.sim.retarget import clear_retargeted
+    except ImportError:  # pragma: no cover - import-order safety only
+        return
+    clear_retargeted()
 
 
 # -- shared-memory recorders -------------------------------------------------
@@ -528,13 +661,19 @@ class SharedTraceRecorder:
     recorder.
     """
 
-    __slots__ = ("scale", "seed", "trace", "kernel_plan")
+    __slots__ = ("scale", "seed", "trace", "kernel_plan", "fork_token")
 
-    def __init__(self, scale: ScaleProfile, seed: int, trace) -> None:
+    def __init__(
+        self, scale: ScaleProfile, seed: int, trace, fork_token: str = "native"
+    ) -> None:
         self.scale = scale
         self.seed = seed
         self.trace = trace
         self.kernel_plan = None
+        # Carried through the published handle so workers replaying a
+        # retargeted segment key their warm forks separately from native
+        # streams at the same (scale, seed).
+        self.fork_token = fork_token
 
     def ensure(self, n_transactions: int):
         if n_transactions <= self.trace.n_transactions:
@@ -558,7 +697,8 @@ def attached_recorder(spec) -> SharedTraceRecorder:
     if recorder is None:
         trace = handle.attach()
         recorder = _ATTACHED[handle.name] = SharedTraceRecorder(
-            spec.scale, spec.seed, trace
+            spec.scale, spec.seed, trace,
+            fork_token=getattr(handle, "token", "native"),
         )
     return recorder
 
@@ -568,34 +708,56 @@ def prepare_replay(specs) -> dict[str, Any]:
 
     Instantiating a recorder loads the TPC-C database; ``ensure(1)`` also
     triggers on-disk cache validation (decode + prefix re-record) when a
-    persisted trace exists.  Benchmarks call this before their timed
-    passes so sweep timings stop charging that fixed cost to whichever
-    cell happens to run first; the returned breakdown is recorded
-    alongside the sweep timings.
+    persisted trace exists.  For retargeted groups (an explicit
+    ``trace_donor`` on the spec, or automatic donor pickup) the one-time
+    remap cost is paid here too and reported per group
+    (``remap_seconds``) and in total (``retarget_seconds``), so warm
+    per-cell figures downstream stay pure-kernel.  Benchmarks call this
+    before their timed passes so sweep timings stop charging those fixed
+    costs to whichever cell happens to run first.
     """
+    from repro.sim.retarget import resolve_recorder
+
     t_total = time.perf_counter()
     groups: list[dict[str, Any]] = []
-    seen: set[tuple[ScaleProfile, int]] = set()
+    retarget_seconds = 0.0
+    seen: set[tuple[ScaleProfile, int, ScaleProfile | None]] = set()
     for spec in specs:
         if not getattr(spec, "replay_ok", True):
             continue
-        key = (spec.scale, spec.seed)
+        donor = getattr(spec, "trace_donor", None)
+        key = (spec.scale, spec.seed, donor)
         if key in seen:
             continue
         seen.add(key)
         already_live = has_recorder(spec.scale, spec.seed)
         t0 = time.perf_counter()
-        recorder = get_recorder(spec.scale, spec.seed)
+        recorder = resolve_recorder(spec.scale, spec.seed, donor)
+        remap_before = getattr(recorder, "remap_seconds", 0.0)
         recorder.ensure(1)
-        groups.append(
-            {
-                "seed": spec.seed,
-                "already_live": already_live,
-                "cached_transactions": recorder._saved_transactions,
-                "seconds": time.perf_counter() - t0,
-            }
-        )
-    return {"groups": groups, "seconds": time.perf_counter() - t_total}
+        # A retargeted recorder remaps everything its donor already knows
+        # up front, so the fixed cost lands here, not in the first cell.
+        if hasattr(recorder, "longest_trace") and hasattr(recorder, "donor_scale"):
+            recorder.longest_trace()
+        remap = getattr(recorder, "remap_seconds", 0.0) - remap_before
+        retarget_seconds += remap
+        group: dict[str, Any] = {
+            "seed": spec.seed,
+            "already_live": already_live,
+            "cached_transactions": recorder._saved_transactions,
+            "seconds": time.perf_counter() - t0,
+        }
+        donor_scale = getattr(recorder, "donor_scale", None)
+        group["retargeted"] = donor_scale is not None
+        if donor_scale is not None:
+            group["donor"] = repr(donor_scale)
+            group["remap_seconds"] = remap
+        groups.append(group)
+    return {
+        "groups": groups,
+        "seconds": time.perf_counter() - t_total,
+        "retarget_seconds": retarget_seconds,
+    }
 
 
 # -- replay ------------------------------------------------------------------
@@ -1001,11 +1163,14 @@ class ReplayRunner:
         """Full replay identity of this warm-up, or ``None`` if ineligible.
 
         Warm-up is a pure function of (trace, config, bounds, loop
-        flavour): the trace is pinned by (scale, seed), and the flavour
-        matters because it decides which policy object ends up installed
-        in the pool.  OBS-enabled runs are ineligible — their warm-up must
-        actually execute so the post-reset counter *set* matches a full
-        run's — and the whole cache can be switched off via
+        flavour): the trace is pinned by (scale, seed) *and* the
+        recorder's ``fork_token`` — a retargeted stream at T is a
+        different trace than a native recording at T, even though both
+        carry T's (scale, seed) — and the flavour matters because it
+        decides which policy object ends up installed in the pool.
+        OBS-enabled runs are ineligible — their warm-up must actually
+        execute so the post-reset counter *set* matches a full run's —
+        and the whole cache can be switched off via
         ``REPRO_REPLAY_WARMFORK=0``.
         """
         if OBS.enabled or not warm_fork_enabled():
@@ -1019,6 +1184,7 @@ class ReplayRunner:
         return (
             self.recorder.scale,
             self.recorder.seed,
+            getattr(self.recorder, "fork_token", "native"),
             repr(self.config),
             min_transactions,
             max_transactions,

@@ -1,0 +1,135 @@
+"""Persisted-trace corruption paths: every bad file fails closed.
+
+The trace cache is derived state, so the only acceptable response to a
+damaged or mismatched file is to treat it as absent and re-record — never
+to replay garbage.  These tests drive every rejection branch of
+``_load_trace`` (truncated body, flipped body byte / CRC mismatch, header
+version skew, scale skew, seed skew, unparseable header) and pin the
+recorder-level consequence: a fresh :class:`TraceRecorder` facing the bad
+file silently records a trace bit-identical to an uncorrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.replay import (
+    TRACE_FORMAT_VERSION,
+    TraceRecorder,
+    _cache_key,
+    _load_trace,
+    cached_trace_exists,
+    clear_recorders,
+)
+from repro.tpcc.scale import BENCH, TINY
+
+SEED = 11
+TRANSACTIONS = 60
+
+
+@pytest.fixture(autouse=True)
+def _cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    clear_recorders()
+    yield tmp_path
+    clear_recorders()
+
+
+def _saved_trace_path(cache_dir: Path) -> Path:
+    recorder = TraceRecorder(TINY, SEED)
+    recorder.ensure(TRANSACTIONS)
+    assert recorder.save_cache()
+    clear_recorders()
+    path = cache_dir / _cache_key(TINY, SEED)
+    assert path.is_file()
+    return path
+
+
+def _reference_trace():
+    recorder = TraceRecorder(TINY, SEED, use_cache=False)
+    recorder.ensure(TRANSACTIONS)
+    return recorder.trace
+
+
+def test_intact_file_round_trips(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    trace = _load_trace(path, TINY, SEED)
+    assert trace is not None
+    reference = _reference_trace()
+    assert trace.ops == reference.ops
+    assert trace.args == reference.args
+    assert trace.n_transactions >= TRANSACTIONS
+
+
+def test_truncated_body_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 7])
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_truncated_to_header_only_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    header_line = path.read_bytes().split(b"\n", 1)[0] + b"\n"
+    path.write_bytes(header_line)
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_flipped_body_byte_fails_crc(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    data = bytearray(path.read_bytes())
+    body_start = data.index(b"\n") + 1
+    # Flip a byte deep in the body: lengths still parse, the CRC cannot.
+    data[body_start + len(data[body_start:]) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def _rewrite_header(path: Path, **overrides) -> None:
+    header_line, body = path.read_bytes().split(b"\n", 1)
+    header = json.loads(header_line.decode())
+    header.update(overrides)
+    path.write_bytes(json.dumps(header).encode() + b"\n" + body)
+
+
+def test_version_skew_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    _rewrite_header(path, version=TRACE_FORMAT_VERSION + 1)
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_scale_skew_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    _rewrite_header(path, scale=repr(BENCH))
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_seed_skew_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    _rewrite_header(path, seed=SEED + 1)
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_garbage_header_fails_closed(_cache_dir):
+    path = _saved_trace_path(_cache_dir)
+    body = path.read_bytes().split(b"\n", 1)[1]
+    path.write_bytes(b"not json at all\n" + body)
+    assert _load_trace(path, TINY, SEED) is None
+
+
+def test_recorder_re_records_over_corruption(_cache_dir):
+    """The end-to-end guarantee: a corrupt cache never changes results."""
+    path = _saved_trace_path(_cache_dir)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0x55
+    path.write_bytes(bytes(data))
+
+    assert cached_trace_exists(TINY, SEED)  # the file is there...
+    recorder = TraceRecorder(TINY, SEED)
+    trace = recorder.ensure(TRANSACTIONS)  # ...but it re-records afresh
+    reference = _reference_trace()
+    assert trace.ops[: len(reference.ops)] == reference.ops
+    assert trace.args[: len(reference.args)] == reference.args
