@@ -52,6 +52,14 @@ exits non-zero with ``--strict``).  Intended uses:
   gates (``parity`` true, monotone p50 <= p95 <= p99 per cell, every
   policy saturating within the swept range) fail the run under
   ``--strict``
+* ``--scan`` records the scan-resistance grid instead: a TINY
+  {policy} x {scan mix} matrix driving the ``tpch-scan`` registry workload
+  (pure sequential scans, then the HTAP probe/update preset) over
+  {mvFIFO+GSC, LRU-2, LC}, written to ``BENCH_scan.json`` with per-cell
+  steady-state flash hit ratios and throughput — the acceptance gates
+  (``parity`` true, zero natively recorded transactions in the timed
+  replay pass, and GSC's pure-scan hit ratio strictly above LRU-2's: the
+  paper's §3.3 scan-resistance claim) fail the run under ``--strict``
 * ``--recovery`` records the Table-6-style crash/restart grid instead: a
   BENCH-scale {policy} x {checkpoint interval} crash matrix run as
   :class:`~repro.sim.scenario.CrashRecoveryScenario` cells over the shared
@@ -99,6 +107,7 @@ RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sweep.json"
 ABLATION_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_ablation.json"
 RECOVERY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_recovery.json"
 LATENCY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_latency.json"
+SCAN_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_scan.json"
 HISTORY_LIMIT = 20
 #: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
 REGRESSION_TOLERANCE = 0.30
@@ -732,6 +741,163 @@ def latency_warnings(record: dict) -> list[str]:
     return warnings
 
 
+# -- scan-resistance record --------------------------------------------------
+
+#: The scan-resistance grid (paper §3.3): the ``tpch-scan`` registry
+#: workload under two mixes — pure sequential scans and the HTAP
+#: probe/update preset — over the paper's protagonist (mvFIFO+GSC), the
+#: pure-recency strawman it argues against (LRU-2), and LC.  A long scan
+#: floods any recency-ranked flash cache with single-touch pages; the
+#: multi-version FIFO admission queue plus GSC's reference bits keep the
+#: re-visited working set resident instead.
+SCAN_POLICIES = ("face+gsc", "lru2", "lc")
+#: CI smoke drops the LC baseline (the gates compare GSC against LRU-2)
+#: but keeps the full measurement window: a shorter window stops before
+#: LRU-2's scan-cannibalisation reaches steady state and the §3.3 gate
+#: would measure the transient, not the claim.
+SMOKE_SCAN_POLICIES = ("face+gsc", "lru2")
+#: Mix name -> preset for :func:`repro.workload.registry.workload_spec`.
+SCAN_MIXES = {"pure-scan": None, "htap": "htap"}
+SCAN_MEASURE_TX = 400
+SCAN_WARMUP = dict(warmup_min=60, warmup_max=800)
+SCAN_CACHE_FRACTION = 0.08
+
+
+def scan_specs(smoke: bool) -> list[CellSpec]:
+    from repro.workload.registry import estimate_workload_pages, workload_spec
+
+    policies = SMOKE_SCAN_POLICIES if smoke else SCAN_POLICIES
+    specs = []
+    for mix, preset in SCAN_MIXES.items():
+        spec_w = workload_spec("tpch-scan", preset=preset)
+        db_pages = estimate_workload_pages(spec_w, TINY)
+        for policy in policies:
+            specs.append(CellSpec(
+                key=(mix, policy),
+                config=scaled_reference_config(
+                    db_pages,
+                    cache_fraction=SCAN_CACHE_FRACTION,
+                    policy=CachePolicy(policy),
+                ),
+                scale=TINY,
+                seed=SEED,
+                workload=spec_w.name,
+                workload_knobs=spec_w.knobs,
+                measure_transactions=SCAN_MEASURE_TX,
+                **SCAN_WARMUP,
+            ))
+    return specs
+
+
+def run_scan_record(jobs: int, smoke: bool) -> dict:
+    """Run the scan grid via replay; record hit ratios + the §3.3 gate.
+
+    Three passes:
+
+    1. seed — a fast grid pass from a clean slate records one native
+       ``tpch-scan`` boundary trace per mix (the non-tpcc workloads always
+       record natively: cross-scale retargeting is tpcc-only);
+    2. the timed claim — the same grid replayed with observability on,
+       asserting **zero** natively recorded transactions: every workload
+       rides the trace-replay fast path, not just TPC-C;
+    3. parity evidence — one cell per mix re-run as full execution and
+       compared bit-for-bit against the replayed results.
+    """
+    import dataclasses
+
+    from repro.sim.parallel import run_cell
+
+    specs = scan_specs(smoke)
+
+    # 1. Seed: records each mix's trace once, then serves its siblings.
+    clear_recorders()
+    seed_start = time.perf_counter()
+    seeded = run_cells(specs, jobs=1, fast=True)
+    seed_wall = time.perf_counter() - seed_start
+
+    # 2. Timed replay pass: nothing may record natively now.
+    was_enabled = OBS.enabled
+    OBS.clear()
+    OBS.enable()
+    try:
+        replay_start = time.perf_counter()
+        cells = run_cells(specs, jobs=1, fast=True)
+        replay_wall = time.perf_counter() - replay_start
+        native_recorded = OBS.counter("replay.trace.recorded_transactions").value
+    finally:
+        OBS.clear()
+        if not was_enabled:
+            OBS.disable()
+
+    # 3. Parity: one full-execution cell per mix (the GSC protagonist).
+    parity = _strip_obs(cells) == _strip_obs(seeded)
+    for mix in SCAN_MIXES:
+        spec = next(s for s in specs if s.key == (mix, "face+gsc"))
+        full = run_cell(spec)
+        parity = parity and (
+            dataclasses.replace(full, obs=None)
+            == dataclasses.replace(cells[spec.key], obs=None)
+        )
+
+    rows = [
+        {
+            "key": list(key),
+            "flash_hit_rate": round(result.flash_hit_rate, 6),
+            "tpmc": round(result.tpmc, 2),
+            "transactions": result.transactions,
+        }
+        for key, result in cells.items()
+    ]
+    hit = {key: cells[key].flash_hit_rate for key in cells}
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "smoke" if smoke else "full",
+        "workload": "tpch-scan",
+        "mixes": {
+            mix: (f"preset {preset!r}" if preset else "default knobs")
+            for mix, preset in SCAN_MIXES.items()
+        },
+        "n_cells": len(specs),
+        "cells": rows,
+        "seed_wall_seconds": round(seed_wall, 3),
+        "replay_wall_seconds": round(replay_wall, 3),
+        "native_recorded_transactions": int(native_recorded),
+        "replay_parity": parity,
+        "scan_resistance": {
+            mix: {
+                "gsc_flash_hit_rate": round(hit[(mix, "face+gsc")], 6),
+                "lru2_flash_hit_rate": round(hit[(mix, "lru2")], 6),
+                "gsc_beats_lru2": hit[(mix, "face+gsc")] > hit[(mix, "lru2")],
+            }
+            for mix in SCAN_MIXES
+        },
+    }
+
+
+def scan_warnings(record: dict) -> list[str]:
+    """Acceptance gates on the scan record (``--strict`` fails on any)."""
+    warnings = []
+    if not record.get("replay_parity", False):
+        warnings.append(
+            "scan replay results are NOT bit-identical to full execution"
+        )
+    if record.get("native_recorded_transactions"):
+        warnings.append(
+            f"scan replay pass recorded "
+            f"{record['native_recorded_transactions']} native transactions "
+            f"(expected 0: every mix should replay its seeded trace)"
+        )
+    gate = record.get("scan_resistance", {}).get("pure-scan", {})
+    if not gate.get("gsc_beats_lru2", False):
+        warnings.append(
+            f"GSC pure-scan flash hit ratio "
+            f"{gate.get('gsc_flash_hit_rate')} does not beat LRU-2's "
+            f"{gate.get('lru2_flash_hit_rate')} (the §3.3 scan-resistance "
+            f"claim)"
+        )
+    return warnings
+
+
 # -- recovery record ---------------------------------------------------------
 
 #: The crash/restart grid: every cell shares one (BENCH, SEED) boundary
@@ -848,12 +1014,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="record the closed-loop service grid "
                              "(throughput + tail latency vs client count) "
                              "to BENCH_latency.json instead of the sweep")
+    parser.add_argument("--scan", action="store_true",
+                        help="record the scan-resistance grid (tpch-scan "
+                             "workload over {face+gsc, lru2, lc}) to "
+                             "BENCH_scan.json instead of the sweep")
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
     exclusive = [
         name for name, on in
         (("--ablation", args.ablation), ("--recovery", args.recovery),
-         ("--latency", args.latency))
+         ("--latency", args.latency), ("--scan", args.scan))
         if on
     ]
     if len(exclusive) > 1:
@@ -864,6 +1034,8 @@ def main(argv: list[str] | None = None) -> int:
         default_output = ABLATION_RECORD_PATH
     elif args.latency:
         default_output = LATENCY_RECORD_PATH
+    elif args.scan:
+        default_output = SCAN_RECORD_PATH
     else:
         default_output = RECORD_PATH
     output = args.output or default_output
@@ -882,6 +1054,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.latency:
         record = run_latency_record(args.jobs, args.smoke)
         warnings = latency_warnings(record)
+    elif args.scan:
+        record = run_scan_record(args.jobs, args.smoke)
+        warnings = scan_warnings(record)
     else:
         record = run_record(args.jobs, args.smoke, collect_obs=args.obs,
                             fast=args.fast)
@@ -899,6 +1074,22 @@ def main(argv: list[str] | None = None) -> int:
     output.write_text(
         json.dumps({"latest": record, "history": history}, indent=2) + "\n"
     )
+
+    if args.scan:
+        print(f"wrote {output}")
+        print(f"  cells: {record['n_cells']}  mode: {record['mode']}  "
+              f"workload: {record['workload']}")
+        print(f"  seed pass: {record['seed_wall_seconds']}s  replay pass: "
+              f"{record['replay_wall_seconds']}s  native tx recorded: "
+              f"{record['native_recorded_transactions']}  "
+              f"parity: {record['replay_parity']}")
+        for mix, gate in record["scan_resistance"].items():
+            verdict = "beats" if gate["gsc_beats_lru2"] else "DOES NOT beat"
+            print(f"  {mix}: GSC flash hit {gate['gsc_flash_hit_rate']} "
+                  f"{verdict} LRU-2 {gate['lru2_flash_hit_rate']}")
+        for warning in warnings:
+            print(f"WARNING: {warning}", file=sys.stderr)
+        return 1 if (warnings and args.strict) else 0
 
     if args.ablation or args.recovery or args.latency:
         print(f"wrote {output}")

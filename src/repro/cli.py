@@ -44,8 +44,12 @@ from repro.sim.runner import ExperimentRunner
 from repro.sim.scenario import CrashRecoveryScenario
 from repro.sim.sweep import Sweep
 from repro.storage.profiles import TABLE1_PROFILES
-from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import BENCH, TINY, ScaleProfile
+from repro.workload.registry import (
+    WorkloadSpec,
+    available_workloads,
+    estimate_workload_pages,
+)
 
 #: CLI policy choices come from the registry, so a policy added there is
 #: immediately selectable here (and in ``ablate``'s ``policy`` axis).
@@ -61,15 +65,40 @@ def _scale(name: str) -> ScaleProfile:
         raise SystemExit(f"unknown scale {name!r} (use tiny|bench)") from None
 
 
+def _workload(args) -> WorkloadSpec:
+    """Resolve ``--workload``/``--workload-knob``/``--workload-preset``.
+
+    Validation happens in the workload registry; its
+    :class:`~repro.errors.WorkloadError` messages name the accepted
+    workloads/knobs, so they are surfaced verbatim as the exit message.
+    """
+    from repro.errors import WorkloadError
+    from repro.workload.registry import workload_spec
+
+    knobs = {}
+    for token in args.workload_knobs:
+        name, sep, raw = token.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"--workload-knob needs NAME=VALUE, got {token!r}"
+            )
+        knobs[name.strip()] = _axis_value(raw)
+    try:
+        return workload_spec(args.workload, knobs, preset=args.workload_preset)
+    except WorkloadError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _build_runner(args, policy: CachePolicy, **overrides) -> ExperimentRunner:
     scale = _scale(args.scale)
+    workload = _workload(args)
     config = scaled_reference_config(
-        estimate_db_pages(scale),
+        estimate_workload_pages(workload, scale),
         cache_fraction=args.cache_fraction,
         policy=policy,
         **overrides,
     )
-    return ExperimentRunner(config, scale, seed=args.seed)
+    return ExperimentRunner(config, scale, seed=args.seed, workload=workload)
 
 
 def _report_fast_path(stream=None) -> None:
@@ -98,16 +127,19 @@ def _report_fast_path(stream=None) -> None:
 
 def cmd_run(args) -> int:
     scale = _scale(args.scale)
+    workload = _workload(args)
     specs = [
         CellSpec(
             key=(name,),
             config=scaled_reference_config(
-                estimate_db_pages(scale),
+                estimate_workload_pages(workload, scale),
                 cache_fraction=args.cache_fraction,
                 policy=_POLICY_NAMES[name],
             ),
             scale=scale,
             seed=args.seed,
+            workload=workload.name,
+            workload_knobs=workload.knobs,
             measure_transactions=args.transactions,
             warmup_max=50_000,
         )
@@ -121,12 +153,15 @@ def cmd_run(args) -> int:
     cells = run_cells(specs, jobs=args.jobs, on_cell=report, fast=args.fast)
     if args.fast:
         _report_fast_path()
-    print(run_result_table(list(cells.values()), title="Steady-state TPC-C"))
+    print(run_result_table(
+        list(cells.values()), title=f"Steady state - {workload.token}"
+    ))
     return 0
 
 
 def cmd_recover(args) -> int:
     scale = _scale(args.scale)
+    workload = _workload(args)
     scenario = CrashRecoveryScenario(
         checkpoint_interval=args.interval,
         crash_point=args.crash_point,
@@ -136,12 +171,14 @@ def cmd_recover(args) -> int:
         CellSpec(
             key=(name,),
             config=scaled_reference_config(
-                estimate_db_pages(scale),
+                estimate_workload_pages(workload, scale),
                 cache_fraction=args.cache_fraction,
                 policy=_POLICY_NAMES[name],
             ),
             scale=scale,
             seed=args.seed,
+            workload=workload.name,
+            workload_knobs=workload.knobs,
             scenario=scenario,
         )
         for name in args.policies
@@ -157,9 +194,12 @@ def cmd_recover(args) -> int:
 def cmd_serve(args) -> int:
     from repro.sim.experiment import ExperimentConfig
 
+    workload = _workload(args)
     base = ExperimentConfig(
         scale=_scale(args.scale),
         seed=args.seed,
+        workload=workload.name,
+        workload_knobs=workload.knobs,
         cache_fraction=args.cache_fraction,
         measure_transactions=args.transactions,
         warmup_max=50_000,
@@ -223,17 +263,23 @@ def cmd_stats(args) -> int:
     from repro.obs import OBS
 
     policy = _POLICY_NAMES[args.policy]
+    workload = _workload(args)
+    print(f"# workload: {workload.token} "
+          f"(knobs: {workload.resolved_knobs() or '(none)'})",
+          file=sys.stderr)
     OBS.enable()
     if args.fast:
         from repro.sim.replay import ReplayRunner, get_recorder, save_recorded_traces
 
         scale = _scale(args.scale)
         config = scaled_reference_config(
-            estimate_db_pages(scale),
+            estimate_workload_pages(workload, scale),
             cache_fraction=args.cache_fraction,
             policy=policy,
         )
-        runner = ReplayRunner(config, get_recorder(scale, args.seed))
+        runner = ReplayRunner(
+            config, get_recorder(scale, args.seed, workload=workload)
+        )
     else:
         runner = _build_runner(args, policy)
 
@@ -337,8 +383,8 @@ def cmd_stats(args) -> int:
     disk_writes = snap.get(f"{prefix}.disk_writes")
     obs_hit = hits / lookups if lookups else 0.0
     obs_wr = max(0.0, 1.0 - disk_writes / dirty) if dirty else 0.0
-    print(f"# {result.name}: {result.transactions} tx measured, "
-          f"{result.tpmc:,.0f} tpmC")
+    print(f"# {result.name} / {workload.token}: {result.transactions} tx "
+          f"measured, {result.tpmc:,.0f} tpmC")
     print(format_table(
         "Derived from metrics vs. RunResult",
         ["figure", "from metrics", "from RunResult"],
@@ -373,7 +419,8 @@ def cmd_stats(args) -> int:
 def cmd_sweep(args) -> int:
     policy = _POLICY_NAMES[args.policy]
     scale = _scale(args.scale)
-    db_pages = estimate_db_pages(scale)
+    workload = _workload(args)
+    db_pages = estimate_workload_pages(workload, scale)
     # --shared-seed is its own decision; it merely *defaults* to following
     # --fast (one shared boundary stream is the layout replay amortises
     # best).  --no-shared-seed keeps statistically independent per-cell
@@ -390,6 +437,8 @@ def cmd_sweep(args) -> int:
         warmup_max=50_000,
         seed=args.seed,
         shared_seed=shared_seed,
+        workload=workload.name,
+        workload_knobs=workload.knobs,
     )
     results = sweep.run(
         jobs=args.jobs, progress=progress_printer(sys.stderr), fast=args.fast
@@ -428,9 +477,12 @@ def cmd_ablate(args) -> int:
     from repro.sim.ablation import AblationStudy, verify_parity
     from repro.sim.experiment import ExperimentConfig
 
+    workload = _workload(args)
     base = ExperimentConfig(
         scale=_scale(args.scale),
         seed=args.seed,
+        workload=workload.name,
+        workload_knobs=workload.knobs,
         policy=args.policy,
         cache_fraction=args.cache_fraction,
         measure_transactions=args.transactions,
@@ -639,6 +691,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", default="bench", help="tiny|bench (default bench)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--workload", default="tpcc", choices=sorted(available_workloads()),
+        help="workload registry name (default tpcc); see "
+             "repro.workload.registry",
+    )
+    parser.add_argument(
+        "--workload-knob", dest="workload_knobs", action="append",
+        default=[], metavar="NAME=VALUE",
+        help="override one workload knob (repeatable), e.g. "
+             "--workload-knob zipf_s=0.7; unknown names list the "
+             "accepted set",
+    )
+    parser.add_argument(
+        "--workload-preset", dest="workload_preset", default=None,
+        metavar="NAME",
+        help="apply a named workload preset before knob overrides "
+             "(e.g. ycsb write-churn, tpch-scan htap)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for independent cells "
              "(1 = serial, 0 = one per CPU; default 1)",
@@ -720,8 +790,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a dense knob grid over one recorded workload via "
         "the trace-replay fast path and print per-axis sensitivity tables. "
         "Axes: admission, sync, scan_depth, checkpoint, cache_fraction, "
-        "policy, dram — or any ExperimentConfig field. Values come from "
-        "the paper unless overridden as NAME=v1,v2,...",
+        "policy, workload, dram — or any ExperimentConfig field. Values "
+        "come from the paper unless overridden as NAME=v1,v2,...",
     )
     ablate.add_argument(
         "axes", nargs="+", metavar="AXIS[=V1,V2,...]",

@@ -33,6 +33,7 @@ class CachePolicy(enum.Enum):
     FACE_GR = "face+gr"
     FACE_GSC = "face+gsc"
     LC = "lc"
+    LRU2 = "lru2"
     TAC = "tac"
     EXADATA = "exadata"
 
@@ -115,6 +116,7 @@ class SystemConfig:
             CachePolicy.FACE_GR: "FaCE+GR",
             CachePolicy.FACE_GSC: "FaCE+GSC",
             CachePolicy.LC: "LC",
+            CachePolicy.LRU2: "LRU-2",
             CachePolicy.TAC: "TAC",
             CachePolicy.EXADATA: "Exadata",
         }[self.cache_policy]

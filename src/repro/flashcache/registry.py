@@ -35,7 +35,7 @@ from repro.errors import ConfigError
 from repro.flashcache.base import FlashCacheBase
 from repro.flashcache.exadata import ExadataStyleCache
 from repro.flashcache.group import GroupReplacementCache, GroupSecondChanceCache
-from repro.flashcache.lc import LazyCleaningCache
+from repro.flashcache.lc import LazyCleaningCache, Lru2Cache
 from repro.flashcache.mvfifo import MvFifoCache
 from repro.flashcache.null import NullFlashCache
 from repro.flashcache.tac import TacCache
@@ -88,6 +88,10 @@ def _make_gsc(flash, disk, cache_pages, *, segment_entries, scan_depth, **face):
 
 def _make_lc(flash, disk, cache_pages, *, dirty_threshold):
     return LazyCleaningCache(flash, disk, cache_pages, dirty_threshold)
+
+
+def _make_lru2(flash, disk, cache_pages):
+    return Lru2Cache(flash, disk, cache_pages)
 
 
 def _make_tac(flash, disk, cache_pages, *, extent_pages, admit_threshold):
@@ -143,6 +147,14 @@ _REGISTRY: dict[str, PolicyEntry] = {
             knobs={"dirty_threshold": "lc_dirty_threshold"},
             description="Lazy Cleaning: LRU flash cache with a background "
             "cleaner (§5 baseline)",
+        ),
+        PolicyEntry(
+            name=CachePolicy.LRU2.value,
+            policy=CachePolicy.LRU2,
+            factory=_make_lru2,
+            knobs={},
+            description="pure LRU-2 flash cache (LC without its lazy "
+            "cleaner; §3.3 scan-resistance baseline)",
         ),
         PolicyEntry(
             name=CachePolicy.TAC.value,

@@ -48,6 +48,7 @@ from repro.sim.parallel import CellProgress, CellSpec, run_cell, run_cells
 from repro.sim.runner import RunResult
 from repro.sim.scenario import CrashRun, ScenarioResult
 from repro.sim.service import ServiceResult
+from repro.workload.registry import available_workloads
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,14 @@ AXES: dict[str, AblationAxis] = {
             values=_policy_values(),
             paper="Table 2",
             description="flash-cache policy (registry name)",
+        ),
+        AblationAxis(
+            name="workload",
+            field="workload",
+            values=available_workloads(),
+            paper="§5.1",
+            description="workload driving the cells (registry name); each "
+            "value records / replays its own boundary stream",
         ),
         AblationAxis(
             name="dram",

@@ -26,18 +26,17 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from functools import lru_cache
+from typing import Mapping
 
 from repro.core.config import SystemConfig, scaled_reference_config
 from repro.errors import ConfigError
 from repro.flashcache.registry import resolve_policy
-from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import TINY, ScaleProfile
-
-#: ``estimate_db_pages`` re-runs the schema-creation probe each call; an
-#: ablation grid lowers hundreds of cells at the same scale, so memoise it
-#: (profiles are frozen dataclasses and hash by value).
-_db_pages = lru_cache(maxsize=None)(estimate_db_pages)
+from repro.workload.registry import (
+    WorkloadSpec,
+    estimate_workload_pages,
+    workload_spec as _resolve_workload,
+)
 
 #: Fields forwarded verbatim as :class:`SystemConfig` overrides.
 _SYSTEM_FIELDS = (
@@ -60,6 +59,15 @@ class ExperimentConfig:
     # -- workload ------------------------------------------------------------
     scale: ScaleProfile = TINY
     seed: int = 42
+    #: Workload, by registry name (see
+    #: :func:`repro.workload.registry.available_workloads`).
+    workload: str = "tpcc"
+    #: Workload knob overrides — accepted as any mapping (or ``(name,
+    #: value)`` pairs) at construction, canonicalised by ``__post_init__``
+    #: into the sorted non-default tuple a :class:`WorkloadSpec` carries,
+    #: so equal experiments hash and compare equal.  Unknown names raise
+    #: :class:`~repro.errors.WorkloadError` at config time.
+    workload_knobs: tuple = ()
     #: Serve fast-path replays from a donor recording at this (larger)
     #: scale, remapped onto ``scale``'s page universe at replay time (see
     #: :mod:`repro.sim.retarget`).  ``None`` records natively, with
@@ -116,6 +124,14 @@ class ExperimentConfig:
 
     def __post_init__(self) -> None:
         resolve_policy(self.policy)  # fail fast on unknown names
+        knobs = self.workload_knobs
+        if isinstance(knobs, Mapping):
+            knobs = tuple(knobs.items())
+        # Canonicalise through the registry: validates the workload name
+        # and every knob (WorkloadError on either), drops default-valued
+        # overrides, sorts the rest.
+        spec = _resolve_workload(self.workload, dict(knobs))
+        object.__setattr__(self, "workload_knobs", spec.knobs)
         if self.measure_transactions < 1:
             raise ConfigError("measure_transactions must be >= 1")
         if not 0.0 < self.cache_fraction <= 1.0:
@@ -142,6 +158,12 @@ class ExperimentConfig:
             raise ConfigError("crash_max_transactions must be >= 1")
         if self.ckpt_segment_entries is not None and self.ckpt_segment_entries < 1:
             raise ConfigError("ckpt_segment_entries must be >= 1 when set")
+        if self.trace_donor is not None and self.workload != "tpcc":
+            raise ConfigError(
+                f"trace_donor requires the tpcc workload: cross-scale "
+                f"retargeting is defined over TPC-C's page geometry, and "
+                f"{self.workload!r} records natively at its own scale"
+            )
         if self.trace_donor is not None and self.trace_donor != self.scale:
             from repro.sim.retarget import retarget_incompatibility
 
@@ -169,10 +191,14 @@ class ExperimentConfig:
             )
         return dataclasses.replace(self, **overrides)
 
+    def workload_spec(self) -> WorkloadSpec:
+        """The canonical :class:`WorkloadSpec` this experiment drives."""
+        return _resolve_workload(self.workload, dict(self.workload_knobs))
+
     def system_config(self) -> SystemConfig:
         """Lower to the :class:`SystemConfig` this experiment runs on."""
         config = scaled_reference_config(
-            _db_pages(self.scale),
+            estimate_workload_pages(self.workload_spec(), self.scale),
             cache_fraction=self.cache_fraction,
             buffer_fraction=self.buffer_fraction,
             policy=resolve_policy(self.policy),
@@ -224,9 +250,17 @@ class ExperimentConfig:
     def describe(self) -> str:
         """Compact non-default summary, for table captions and JSON records."""
         defaults = ExperimentConfig(scale=self.scale)
-        diffs = [
+        diffs = []
+        spec = self.workload_spec()
+        if spec.token != defaults.workload:
+            # Workload name and knobs collapse to the spec's compact token
+            # (e.g. ``ycsb[update_fraction=0.9]``) instead of two raw
+            # dataclass fields.
+            diffs.append(f"workload={spec.token!r}")
+        diffs += [
             f"{f.name}={getattr(self, f.name)!r}"
             for f in dataclasses.fields(self)
-            if f.name != "scale" and getattr(self, f.name) != getattr(defaults, f.name)
+            if f.name not in ("scale", "workload", "workload_knobs")
+            and getattr(self, f.name) != getattr(defaults, f.name)
         ]
         return ", ".join(diffs) if diffs else "(reference configuration)"

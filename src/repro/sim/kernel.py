@@ -507,6 +507,9 @@ class ReplayKernel:
         self.runner = runner
         self.dbms = runner.dbms
         self.recorder = runner.recorder
+        # The recorder's workload defines the TXEND kind alphabet
+        # (headline kind first); TPC-C's is the default.
+        self._tx_kinds = tuple(getattr(runner.recorder, "tx_kinds", _TX_KINDS))
         policy = BatchLruPolicy()
         # The runner's system is freshly built: no frame is resident yet,
         # so the swap inherits nothing and every later admission flows
@@ -712,11 +715,11 @@ class ReplayKernel:
         runner._tx_index = tx_index + 1
         stats = runner.stats
         stats.executed += 1
-        kind_name = _TX_KINDS[meta >> 1]
+        kind_name = self._tx_kinds[meta >> 1]
         stats.by_kind[kind_name] = stats.by_kind.get(kind_name, 0) + 1
         if meta & 1:
             stats.committed += 1
-            if meta >> 1 == 0:  # new_order is kind 0 in the mix
+            if meta >> 1 == 0:  # the headline kind is always index 0
                 stats.neworder_commits += 1
         else:
             stats.aborted += 1

@@ -23,7 +23,7 @@ embarrassingly parallel.  This module fans such cells out over a
   completes with identical results.
 * ``run_cells(..., fast=True)`` routes eligible cells through the
   trace-replay fast path (:mod:`repro.sim.replay`): the boundary event
-  stream is recorded once per ``(scale, seed)`` and replayed per cell,
+  stream is recorded once per ``(scale, seed, workload)`` and replayed per cell,
   bit-identically; ineligible cells full-execute from warm-state forks
   (:mod:`repro.sim.warmstate`).
 """
@@ -71,6 +71,11 @@ class CellSpec:
     config: SystemConfig
     scale: ScaleProfile
     seed: int
+    #: Workload registry name plus canonical knob tuple (see
+    #: :mod:`repro.workload.registry`); together with ``(scale, seed)``
+    #: they name the boundary stream this cell replays.
+    workload: str = "tpcc"
+    workload_knobs: tuple = ()
     measure_transactions: int = 2000
     warmup_min: int = 500
     warmup_max: int = 15_000
@@ -110,6 +115,13 @@ class CellSpec:
     #: pins the donor and fails loudly if it is incompatible.
     trace_donor: ScaleProfile | None = None
 
+    def workload_spec(self):
+        """Canonical :class:`~repro.workload.registry.WorkloadSpec` for
+        this cell (validated; hashable, so it keys replay groups)."""
+        from repro.workload.registry import workload_spec
+
+        return workload_spec(self.workload, dict(self.workload_knobs))
+
     def resolve_scenario(
         self,
     ) -> SteadyStateScenario | CrashRecoveryScenario | ServiceScenario:
@@ -141,6 +153,8 @@ class CellSpec:
             config=experiment.system_config(),
             scale=experiment.scale,
             seed=experiment.seed,
+            workload=experiment.workload,
+            workload_knobs=experiment.workload_knobs,
             measure_transactions=experiment.measure_transactions,
             warmup_min=experiment.warmup_min,
             warmup_max=experiment.warmup_max,
@@ -214,7 +228,10 @@ def _execute_cell(
 def run_cell(spec: CellSpec) -> ScenarioResult:
     """Execute one cell start-to-finish (module-level: the worker target)."""
     return _execute_cell(
-        spec, lambda: ExperimentRunner(spec.config, spec.scale, seed=spec.seed)
+        spec,
+        lambda: ExperimentRunner(
+            spec.config, spec.scale, seed=spec.seed, workload=spec.workload_spec()
+        ),
     )
 
 
@@ -229,13 +246,17 @@ def run_cell_warm(spec: CellSpec) -> ScenarioResult:
     """
     from repro.sim.warmstate import fork_database
 
+    workload = spec.workload_spec()
     return _execute_cell(
         spec,
         lambda: ExperimentRunner(
             spec.config,
             spec.scale,
             seed=spec.seed,
-            loader=lambda dbms, scale: fork_database(dbms, scale, spec.seed),
+            loader=lambda dbms, scale: fork_database(
+                dbms, scale, spec.seed, workload=workload
+            ),
+            workload=workload,
         ),
     )
 
@@ -277,7 +298,7 @@ def run_cells(
 
     ``fast=True`` serves cells through the trace-replay fast path
     (:mod:`repro.sim.replay`): the boundary event stream for each
-    ``(scale, seed)`` is recorded once (or loaded from the persistent trace
+    ``(scale, seed, workload)`` is recorded once (or loaded from the persistent trace
     cache) and every replay-eligible cell replays it against its own cache
     policy and device stack — bit-identical results at a fraction of the
     wall-clock.  Cells that opt out (``replay_ok=False``) or whose
@@ -470,18 +491,18 @@ def _run_cells_fast(
     on_cell: Callable[[tuple, ScenarioResult], None] | None,
     progress: Callable[[CellProgress], None] | None,
 ) -> dict[tuple, ScenarioResult]:
-    """Trace-replay engine: record once per ``(scale, seed)``, replay per cell.
+    """Trace-replay engine: record once per stream identity, replay per cell.
 
     Partitioning: a cell replays when it allows it (``replay_ok``) and the
     one-off recording cost amortises — either another cell shares its
-    ``(scale, seed, trace_donor)`` stream, or a replay source for it
+    ``(scale, seed, trace_donor, workload)`` stream, or a replay source for it
     already exists (live recorder in this process, the persistent cache,
     or — via :mod:`repro.sim.retarget` — a compatible donor recording at a
     larger scale).  Everything else full-executes through
     :func:`run_cell_warm` (warm-state forks), with the usual process-pool
     path when ``jobs`` allows.
 
-    Replay distribution: with ``jobs > 1``, each ``(scale, seed)`` group's
+    Replay distribution: with ``jobs > 1``, each stream group's
     trace is extended once to the group's worst-case consumption (the max
     of the members' scenario :meth:`trace_bound`s), published into shared
     memory once, and every member fans out to pool workers replaying
@@ -500,16 +521,19 @@ def _run_cells_fast(
     group_sizes: dict[tuple, int] = {}
     for spec in specs:
         if spec.replay_ok:
-            group = (spec.scale, spec.seed, spec.trace_donor)
+            group = (spec.scale, spec.seed, spec.trace_donor, spec.workload_spec())
             group_sizes[group] = group_sizes.get(group, 0) + 1
 
     replayed: list[CellSpec] = []
     executed: list[CellSpec] = []
     for spec in specs:
-        group = (spec.scale, spec.seed, spec.trace_donor)
+        group = (spec.scale, spec.seed, spec.trace_donor, spec.workload_spec())
         if spec.replay_ok and (
             group_sizes[group] >= 2
-            or replay_source_exists(spec.scale, spec.seed, spec.trace_donor)
+            or replay_source_exists(
+                spec.scale, spec.seed, spec.trace_donor,
+                workload=spec.workload_spec(),
+            )
         ):
             replayed.append(spec)
         else:
@@ -522,17 +546,17 @@ def _run_cells_fast(
     jobs_n = resolve_jobs(jobs)
     groups: dict[tuple, list[CellSpec]] = {}
     for spec in replayed:
-        groups.setdefault((spec.scale, spec.seed, spec.trace_donor), []).append(
-            spec
-        )
+        groups.setdefault(
+            (spec.scale, spec.seed, spec.trace_donor, spec.workload_spec()), []
+        ).append(spec)
 
     n_shared = 0
     n_exhausted = 0
     n_retargeted = 0
     published: list[SharedTraceHandle] = []
     try:
-        for (scale, seed, donor), members in groups.items():
-            recorder = resolve_recorder(scale, seed, donor)
+        for (scale, seed, donor, workload), members in groups.items():
+            recorder = resolve_recorder(scale, seed, donor, workload=workload)
             if getattr(recorder, "donor_scale", None) is not None:
                 n_retargeted += len(members)
             handle = None

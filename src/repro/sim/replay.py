@@ -10,7 +10,10 @@ into the storage engine depend only on ``(scale, seed)``.  Caching, WAL and
 device timing are content-transparent — a page's slots evolve identically
 whether it was served from DRAM, flash or disk.
 
-So the engine records that *boundary stream* once per (scale, seed):
+So the engine records that *boundary stream* once per (scale, seed,
+workload) — any registered workload (:mod:`repro.workload.registry`)
+produces one, since a trace is just the logical page stream above the
+buffer pool:
 
 ``BEGIN | READ(page) | UPDATE(page, payload_bytes) | COMMIT | ABORT | TXEND``
 
@@ -86,10 +89,15 @@ from repro.sim.warmstate import (
     put_warm_fork,
     warm_fork_enabled,
 )
-from repro.tpcc.driver import _MIX, TpccDriver, WorkloadStats
-from repro.tpcc.loader import estimate_db_pages
+from repro.tpcc.driver import _MIX, WorkloadStats
 from repro.storage.profiles import PAGE_SIZE
 from repro.tpcc.scale import ScaleProfile
+from repro.workload.registry import (
+    TPCC_SPEC,
+    WorkloadSpec,
+    estimate_workload_pages,
+    get_workload_entry,
+)
 from repro.wal.records import (
     BASE_RECORD_BYTES,
     ReplayMarkerRecord,
@@ -108,14 +116,18 @@ from repro.wal.records import (
 # operand, and replays as a guaranteed DRAM hit on the MRU frame: no event
 # of any kind separates it from the read that made the page resident.
 
-#: Transaction kinds in mix order; ``TXEND`` packs (kind_index << 1) | committed.
+#: TPC-C transaction kinds in mix order — the *default* kind alphabet.
+#: ``TXEND`` packs (kind_index << 1) | committed, where the index is into
+#: the recording workload's own alphabet (``WorkloadEntry.tx_kinds``,
+#: headline kind first); recorders carry theirs as ``.tx_kinds``.
 TX_KINDS = tuple(kind for kind, _ in _MIX)
-_KIND_INDEX = {kind: index for index, kind in enumerate(TX_KINDS)}
 
 #: Bump when the trace encoding changes; cached files of other versions are
 #: ignored.  v3 switched the on-disk body to the compressed boundary codec
 #: (:mod:`repro.sim.trace`) with a CRC-32 of the raw arrays in the header.
-TRACE_FORMAT_VERSION = 3
+#: v4 added the workload token to the cache key and header: traces of
+#: different workloads at the same (scale, seed) are different streams.
+TRACE_FORMAT_VERSION = 4
 
 #: Fresh transactions re-recorded to validate a cached trace against the
 #: current code (RNG stream, schema, workload logic).  Large enough that
@@ -256,20 +268,30 @@ def trace_cache_dir() -> Path | None:
     return Path(tempfile.gettempdir()) / "repro-trace-cache"
 
 
-def _cache_key(scale: ScaleProfile, seed: int) -> str:
+def _cache_key(
+    scale: ScaleProfile, seed: int, workload_token: str = "tpcc"
+) -> str:
     import hashlib
 
-    digest = hashlib.sha256(f"{scale!r}|{seed}".encode()).hexdigest()[:16]
+    identity = f"{scale!r}|{seed}|{workload_token}"
+    digest = hashlib.sha256(identity.encode()).hexdigest()[:16]
     return f"trace-v{TRACE_FORMAT_VERSION}-{digest}.bin"
 
 
-def _save_trace(path: Path, scale: ScaleProfile, seed: int, trace: BoundaryTrace) -> None:
+def _save_trace(
+    path: Path,
+    scale: ScaleProfile,
+    seed: int,
+    trace: BoundaryTrace,
+    workload_token: str = "tpcc",
+) -> None:
     body = encode_boundary(trace.ops, trace.args)
     header = json.dumps(
         {
             "version": TRACE_FORMAT_VERSION,
             "scale": repr(scale),
             "seed": seed,
+            "workload": workload_token,
             "n_transactions": trace.n_transactions,
             "n_ops": len(trace.ops),
             "n_args": len(trace.args),
@@ -286,7 +308,12 @@ def _save_trace(path: Path, scale: ScaleProfile, seed: int, trace: BoundaryTrace
     os.replace(tmp, path)
 
 
-def _load_trace(path: Path, scale: ScaleProfile, seed: int) -> BoundaryTrace | None:
+def _load_trace(
+    path: Path,
+    scale: ScaleProfile,
+    seed: int,
+    workload_token: str = "tpcc",
+) -> BoundaryTrace | None:
     try:
         with open(path, "rb") as fh:
             header = json.loads(fh.readline().decode())
@@ -294,6 +321,10 @@ def _load_trace(path: Path, scale: ScaleProfile, seed: int) -> BoundaryTrace | N
                 header.get("version") != TRACE_FORMAT_VERSION
                 or header.get("scale") != repr(scale)
                 or header.get("seed") != seed
+                # A trace of another workload at the same (scale, seed) is
+                # a different stream; treating it as absent fails closed
+                # into a fresh recording.
+                or header.get("workload") != workload_token
             ):
                 return None
             ops, args = decode_boundary(fh.read())
@@ -314,8 +345,10 @@ def _load_trace(path: Path, scale: ScaleProfile, seed: int) -> BoundaryTrace | N
         return None
 
 
-def persisted_trace_stats(scale: ScaleProfile, seed: int) -> dict[str, int] | None:
-    """Header sizes of the persisted trace for ``(scale, seed)``, or None.
+def persisted_trace_stats(
+    scale: ScaleProfile, seed: int, workload: WorkloadSpec | None = None
+) -> dict[str, int] | None:
+    """Header sizes of the persisted trace for ``(scale, seed, workload)``.
 
     Returns ``{"raw_bytes", "body_bytes", "file_bytes", "n_transactions"}``
     without decoding the body — enough for the benchmark recorder and the
@@ -324,7 +357,8 @@ def persisted_trace_stats(scale: ScaleProfile, seed: int) -> dict[str, int] | No
     directory = trace_cache_dir()
     if directory is None:
         return None
-    path = directory / _cache_key(scale, seed)
+    token = (workload or TPCC_SPEC).token
+    path = directory / _cache_key(scale, seed, token)
     try:
         with open(path, "rb") as fh:
             header = json.loads(fh.readline().decode())
@@ -388,6 +422,7 @@ def list_cached_traces() -> list[dict[str, Any]]:
                     parse_scale(scale_repr) if isinstance(scale_repr, str) else None
                 ),
                 "seed": header.get("seed"),
+                "workload": header.get("workload"),
                 "n_transactions": header.get("n_transactions"),
                 "raw_bytes": header.get("raw_bytes"),
                 "body_bytes": header.get("body_bytes"),
@@ -465,12 +500,18 @@ def prune_trace_cache(
 
 class TraceRecorder:
     """Records (and incrementally extends) the boundary trace for one
-    (scale, seed), serving it to any number of replays.
+    (scale, seed, workload), serving it to any number of replays.
 
     The live recorder extends its trace on demand — the trace only ever
     grows to the longest warm-up + measurement any replay actually needs.
     A persisted trace, once validated against a freshly recorded prefix,
     short-circuits recording entirely for lengths it covers.
+
+    The workload comes from the registry
+    (:mod:`repro.workload.registry`): its loader populates the recording
+    store, its driver produces the boundary stream, and its kind alphabet
+    (``tx_kinds``, headline kind first) defines the ``TXEND`` encoding
+    replays decode with.
     """
 
     #: Warm-fork cache discriminator: native recordings and retargeted
@@ -480,17 +521,27 @@ class TraceRecorder:
     fork_token = "native"
 
     def __init__(
-        self, scale: ScaleProfile, seed: int, use_cache: bool | None = None
+        self,
+        scale: ScaleProfile,
+        seed: int,
+        use_cache: bool | None = None,
+        workload: WorkloadSpec | None = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
+        self.workload = TPCC_SPEC if workload is None else workload
+        entry = get_workload_entry(self.workload.name)
+        self.tx_kinds = entry.tx_kinds
+        self._kind_index = {kind: i for i, kind in enumerate(entry.tx_kinds)}
         self.trace = BoundaryTrace()
         config = scaled_reference_config(
-            estimate_db_pages(scale), policy=CachePolicy.NONE
+            estimate_workload_pages(self.workload, scale), policy=CachePolicy.NONE
         )
         self._dbms = RecordingDBMS(config, self.trace)
-        database = fork_database(self._dbms, scale, seed)
-        self._driver = TpccDriver(database, seed=seed + 1)
+        database = fork_database(self._dbms, scale, seed, workload=self.workload)
+        self._driver = entry.make_driver(
+            database, seed + 1, **entry.config_knobs(self.workload)
+        )
         self._cached: BoundaryTrace | None = None
         self._cache_checked = False
         self._saved_transactions = 0
@@ -504,7 +555,9 @@ class TraceRecorder:
         result = self._driver.run_one()
         trace = self.trace
         trace.ops.append(OP_TXEND)
-        trace.args.append((_KIND_INDEX[result.kind] << 1) | int(result.committed))
+        trace.args.append(
+            (self._kind_index[result.kind] << 1) | int(result.committed)
+        )
         trace.n_transactions += 1
 
     def ensure(self, n_transactions: int) -> BoundaryTrace:
@@ -536,14 +589,14 @@ class TraceRecorder:
         directory = trace_cache_dir()
         if directory is None:
             return None
-        return directory / _cache_key(self.scale, self.seed)
+        return directory / _cache_key(self.scale, self.seed, self.workload.token)
 
     def _check_cache(self) -> None:
         self._cache_checked = True
         path = self._cache_path()
         if path is None:
             return
-        cached = _load_trace(path, self.scale, self.seed)
+        cached = _load_trace(path, self.scale, self.seed, self.workload.token)
         if cached is None:
             return
         # Self-validation: re-record a fresh prefix with the current code
@@ -578,7 +631,7 @@ class TraceRecorder:
         if best.n_transactions <= self._saved_transactions or best.n_transactions == 0:
             return False
         try:
-            _save_trace(path, self.scale, self.seed, best)
+            _save_trace(path, self.scale, self.seed, best, self.workload.token)
         except OSError:
             return False
         self._saved_transactions = best.n_transactions
@@ -601,23 +654,32 @@ class TraceRecorder:
 
 #: Per-process recorder registry: traces are shared across every sweep and
 #: ``run_cells`` call in the process (e.g. a whole benchmark session).
-_RECORDERS: dict[tuple[ScaleProfile, int], TraceRecorder] = {}
+#: Keyed by the full trace identity — a ``tpcc`` recorder can never serve
+#: a ``ycsb`` cell at the same (scale, seed).
+_RECORDERS: dict[tuple[ScaleProfile, int, WorkloadSpec], TraceRecorder] = {}
 
 
-def get_recorder(scale: ScaleProfile, seed: int) -> TraceRecorder:
-    key = (scale, seed)
+def get_recorder(
+    scale: ScaleProfile, seed: int, workload: WorkloadSpec | None = None
+) -> TraceRecorder:
+    workload = TPCC_SPEC if workload is None else workload
+    key = (scale, seed, workload)
     recorder = _RECORDERS.get(key)
     if recorder is None:
-        recorder = _RECORDERS[key] = TraceRecorder(scale, seed)
+        recorder = _RECORDERS[key] = TraceRecorder(scale, seed, workload=workload)
     return recorder
 
 
-def has_recorder(scale: ScaleProfile, seed: int) -> bool:
-    return (scale, seed) in _RECORDERS
+def has_recorder(
+    scale: ScaleProfile, seed: int, workload: WorkloadSpec | None = None
+) -> bool:
+    return (scale, seed, TPCC_SPEC if workload is None else workload) in _RECORDERS
 
 
-def cached_trace_exists(scale: ScaleProfile, seed: int) -> bool:
-    """True when a persisted trace file exists for ``(scale, seed)``.
+def cached_trace_exists(
+    scale: ScaleProfile, seed: int, workload: WorkloadSpec | None = None
+) -> bool:
+    """True when a persisted trace file exists for the full trace identity.
 
     A cheap existence probe for the sweep engine's replay economics: a
     *lone* cell is only worth replaying when the recording cost is already
@@ -627,7 +689,8 @@ def cached_trace_exists(scale: ScaleProfile, seed: int) -> bool:
     directory = trace_cache_dir()
     if directory is None:
         return False
-    return (directory / _cache_key(scale, seed)).exists()
+    token = (workload or TPCC_SPEC).token
+    return (directory / _cache_key(scale, seed, token)).exists()
 
 
 def save_recorded_traces() -> None:
@@ -661,10 +724,18 @@ class SharedTraceRecorder:
     recorder.
     """
 
-    __slots__ = ("scale", "seed", "trace", "kernel_plan", "fork_token")
+    __slots__ = (
+        "scale", "seed", "trace", "kernel_plan", "fork_token",
+        "workload", "tx_kinds",
+    )
 
     def __init__(
-        self, scale: ScaleProfile, seed: int, trace, fork_token: str = "native"
+        self,
+        scale: ScaleProfile,
+        seed: int,
+        trace,
+        fork_token: str = "native",
+        workload: WorkloadSpec | None = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
@@ -674,6 +745,8 @@ class SharedTraceRecorder:
         # retargeted segment key their warm forks separately from native
         # streams at the same (scale, seed).
         self.fork_token = fork_token
+        self.workload = TPCC_SPEC if workload is None else workload
+        self.tx_kinds = get_workload_entry(self.workload.name).tx_kinds
 
     def ensure(self, n_transactions: int):
         if n_transactions <= self.trace.n_transactions:
@@ -690,6 +763,14 @@ class SharedTraceRecorder:
 _ATTACHED: dict[str, SharedTraceRecorder] = {}
 
 
+def _spec_workload(spec) -> WorkloadSpec:
+    """The :class:`WorkloadSpec` a cell spec describes (``tpcc`` default)."""
+    method = getattr(spec, "workload_spec", None)
+    if method is None:
+        return TPCC_SPEC
+    return method()
+
+
 def attached_recorder(spec) -> SharedTraceRecorder:
     """Attach (once per process) to the spec's published shared trace."""
     handle = spec.shared_trace
@@ -699,6 +780,7 @@ def attached_recorder(spec) -> SharedTraceRecorder:
         recorder = _ATTACHED[handle.name] = SharedTraceRecorder(
             spec.scale, spec.seed, trace,
             fork_token=getattr(handle, "token", "native"),
+            workload=_spec_workload(spec),
         )
     return recorder
 
@@ -721,18 +803,19 @@ def prepare_replay(specs) -> dict[str, Any]:
     t_total = time.perf_counter()
     groups: list[dict[str, Any]] = []
     retarget_seconds = 0.0
-    seen: set[tuple[ScaleProfile, int, ScaleProfile | None]] = set()
+    seen: set[tuple] = set()
     for spec in specs:
         if not getattr(spec, "replay_ok", True):
             continue
         donor = getattr(spec, "trace_donor", None)
-        key = (spec.scale, spec.seed, donor)
+        workload = _spec_workload(spec)
+        key = (spec.scale, spec.seed, workload, donor)
         if key in seen:
             continue
         seen.add(key)
-        already_live = has_recorder(spec.scale, spec.seed)
+        already_live = has_recorder(spec.scale, spec.seed, workload)
         t0 = time.perf_counter()
-        recorder = resolve_recorder(spec.scale, spec.seed, donor)
+        recorder = resolve_recorder(spec.scale, spec.seed, donor, workload=workload)
         remap_before = getattr(recorder, "remap_seconds", 0.0)
         recorder.ensure(1)
         # A retargeted recorder remaps everything its donor already knows
@@ -743,6 +826,7 @@ def prepare_replay(specs) -> dict[str, Any]:
         retarget_seconds += remap
         group: dict[str, Any] = {
             "seed": spec.seed,
+            "workload": workload.token,
             "already_live": already_live,
             "cached_transactions": recorder._saved_transactions,
             "seconds": time.perf_counter() - t0,
@@ -777,7 +861,10 @@ class ReplayRunner:
         self.config = config
         self.recorder = recorder
         self.dbms = SimulatedDBMS(config)
-        self.stats = WorkloadStats()
+        # The recorder's workload defines the TXEND kind alphabet; index 0
+        # is the headline kind the throughput metric counts.
+        self._tx_kinds = tuple(getattr(recorder, "tx_kinds", TX_KINDS))
+        self.stats = WorkloadStats(headline_kind=self._tx_kinds[0])
         self._op_index = 0
         self._arg_index = 0
         self._tx_index = 0
@@ -913,11 +1000,11 @@ class ReplayRunner:
         self._tx_index = tx_index + 1
         stats = self.stats
         stats.executed += 1
-        kind = TX_KINDS[meta >> 1]
+        kind = self._tx_kinds[meta >> 1]
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
         if meta & 1:
             stats.committed += 1
-            if meta >> 1 == 0:  # new_order is kind 0 in the mix
+            if meta >> 1 == 0:  # the headline kind is always index 0
                 stats.neworder_commits += 1
         else:
             stats.aborted += 1
@@ -1093,11 +1180,11 @@ class ReplayRunner:
         self._tx_index = tx_index + 1
         stats = self.stats
         stats.executed += 1
-        kind = TX_KINDS[meta >> 1]
+        kind = self._tx_kinds[meta >> 1]
         stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
         if meta & 1:
             stats.committed += 1
-            if meta >> 1 == 0:  # new_order is kind 0 in the mix
+            if meta >> 1 == 0:  # the headline kind is always index 0
                 stats.neworder_commits += 1
         else:
             stats.aborted += 1
@@ -1163,8 +1250,8 @@ class ReplayRunner:
         """Full replay identity of this warm-up, or ``None`` if ineligible.
 
         Warm-up is a pure function of (trace, config, bounds, loop
-        flavour): the trace is pinned by (scale, seed) *and* the
-        recorder's ``fork_token`` — a retargeted stream at T is a
+        flavour): the trace is pinned by (scale, seed, workload) *and*
+        the recorder's ``fork_token`` — a retargeted stream at T is a
         different trace than a native recording at T, even though both
         carry T's (scale, seed) — and the flavour matters because it
         decides which policy object ends up installed in the pool.
@@ -1184,6 +1271,7 @@ class ReplayRunner:
         return (
             self.recorder.scale,
             self.recorder.seed,
+            getattr(self.recorder, "workload", TPCC_SPEC),
             getattr(self.recorder, "fork_token", "native"),
             repr(self.config),
             min_transactions,

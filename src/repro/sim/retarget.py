@@ -65,6 +65,7 @@ from repro.sim.trace import (
     PAYLOAD_BITS as _PAYLOAD_BITS,
 )
 from repro.tpcc.scale import ScaleProfile, page_geometry
+from repro.workload.registry import TPCC_SPEC, WorkloadSpec, get_workload_entry
 
 try:  # numpy is optional (the ``fast`` extra)
     import numpy as _np
@@ -176,7 +177,16 @@ class RetargetedTraceRecorder:
     ``fork_token`` keys the warm-fork cache: a retargeted trace at T is a
     different byte stream than a native recording at T, so their post-warm
     states must never be interchanged.
+
+    Retargeting is defined over the TPC-C loader's page geometry
+    (:func:`repro.tpcc.scale.page_geometry` probes the TPC-C schema), so a
+    retargeted recorder is always a ``tpcc`` trace source — other
+    workloads resolve to fresh native recorders (see
+    :func:`resolve_recorder` and DESIGN.md §14).
     """
+
+    #: The workload identity every retargeted stream carries (tpcc-only).
+    workload = TPCC_SPEC
 
     def __init__(
         self, scale: ScaleProfile, seed: int, donor_scale: ScaleProfile
@@ -184,6 +194,7 @@ class RetargetedTraceRecorder:
         self.scale = scale
         self.seed = seed
         self.donor_scale = donor_scale
+        self.tx_kinds = get_workload_entry(TPCC_SPEC.name).tx_kinds
         self.trace = BoundaryTrace()
         self.kernel_plan = None
         self.fork_token = f"retarget<-{donor_scale!r}"
@@ -203,8 +214,13 @@ class RetargetedTraceRecorder:
 
             directory = trace_cache_dir()
             if directory is not None:
-                path = directory / _cache_key(self.donor_scale, self.seed)
-                self._persisted = _load_trace(path, self.donor_scale, self.seed)
+                # Donor lookups are workload-keyed: only a tpcc trace can
+                # serve a retargeted (tpcc-only) stream.
+                token = TPCC_SPEC.token
+                path = directory / _cache_key(self.donor_scale, self.seed, token)
+                self._persisted = _load_trace(
+                    path, self.donor_scale, self.seed, token
+                )
             self._persisted_missing = self._persisted is None
         return self._persisted
 
@@ -331,16 +347,20 @@ def find_donor_scale(scale: ScaleProfile, seed: int) -> ScaleProfile | None:
 
     Scans live recorders first (no decode needed), then the persisted-trace
     cache headers.  "Largest" means most database pages — the donor that
-    compresses least onto the target.  Returns ``None`` when nothing
-    compatible exists; the caller then falls back to native recording.
+    compresses least onto the target.  Only ``tpcc`` recordings qualify:
+    retargeting is defined over the TPC-C page geometry, and a donor of
+    any other workload is a different stream entirely.  Returns ``None``
+    when nothing compatible exists; the caller then falls back to native
+    recording.
     """
     from repro.sim.replay import _RECORDERS
     from repro.tpcc.loader import estimate_db_pages
 
     candidates: list[tuple[int, int, str, ScaleProfile]] = []
-    for donor_scale, donor_seed in _RECORDERS:
+    for donor_scale, donor_seed, donor_workload in _RECORDERS:
         if (
             donor_seed == seed
+            and donor_workload == TPCC_SPEC
             and donor_scale != scale
             and retarget_compatible(donor_scale, scale)
         ):
@@ -352,6 +372,7 @@ def find_donor_scale(scale: ScaleProfile, seed: int) -> ScaleProfile | None:
         if (
             donor_scale is not None
             and entry.get("seed") == seed
+            and entry.get("workload") == TPCC_SPEC.token
             and donor_scale != scale
             and retarget_compatible(donor_scale, scale)
         ):
@@ -364,20 +385,38 @@ def find_donor_scale(scale: ScaleProfile, seed: int) -> ScaleProfile | None:
 
 
 def resolve_recorder(
-    scale: ScaleProfile, seed: int, donor_scale: ScaleProfile | None = None
+    scale: ScaleProfile,
+    seed: int,
+    donor_scale: ScaleProfile | None = None,
+    workload: WorkloadSpec | None = None,
 ):
-    """The trace source for (scale, seed): exact key first, else retarget.
+    """The trace source for (scale, seed, workload): exact key first,
+    else retarget.
 
     Resolution order:
 
     * an explicit ``donor_scale`` (``CellSpec.trace_donor`` /
       ``ExperimentConfig.trace_donor``) always wins — ``donor == scale``
       degenerates to the native recorder;
-    * a live or persisted native trace for the exact ``(scale, seed)``;
+    * a live or persisted native trace for the exact
+      ``(scale, seed, workload)``;
     * with retargeting enabled, the largest compatible donor already sunk
       for this seed;
     * otherwise a fresh native recorder (records on demand).
+
+    Donor traces are ``tpcc`` streams by construction, so any non-tpcc
+    workload **fails closed** to its own native recorder: a ``tpcc``
+    donor can never silently serve a ``ycsb`` (or ``tpch-scan``) cell.
+    An *explicit* donor request for such a cell is a configuration error.
     """
+    workload = TPCC_SPEC if workload is None else workload
+    if workload != TPCC_SPEC:
+        if donor_scale is not None and donor_scale != scale:
+            raise ConfigError(
+                f"trace_donor requires the tpcc workload; workload "
+                f"{workload.token!r} records natively"
+            )
+        return get_recorder(scale, seed, workload)
     if donor_scale is not None and donor_scale != scale:
         reason = retarget_incompatibility(donor_scale, scale)
         if reason is not None:
@@ -400,15 +439,24 @@ def resolve_recorder(
 
 
 def replay_source_exists(
-    scale: ScaleProfile, seed: int, donor_scale: ScaleProfile | None = None
+    scale: ScaleProfile,
+    seed: int,
+    donor_scale: ScaleProfile | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> bool:
     """Is a usable trace source already sunk for this group?
 
     The sweep engine's replay-economics probe: a lone cell is worth
     replaying only when no fresh recording would be needed.  Covers live
     and persisted native traces, live retargeted recorders, and (donor or
-    auto) donor recordings.
+    auto) donor recordings.  Non-tpcc workloads only ever have native
+    sources (donors are tpcc streams).
     """
+    workload = TPCC_SPEC if workload is None else workload
+    if workload != TPCC_SPEC:
+        return has_recorder(scale, seed, workload) or cached_trace_exists(
+            scale, seed, workload
+        )
     if donor_scale is not None and donor_scale != scale:
         return retarget_compatible(donor_scale, scale) and (
             has_recorder(donor_scale, seed)

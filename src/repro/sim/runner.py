@@ -10,15 +10,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.config import SystemConfig
 from repro.core.dbms import SimulatedDBMS
 from repro.obs import OBS, RegistrySnapshot
 from repro.sim.metrics import ThroughputSeries
-from repro.tpcc.driver import TpccDriver, WorkloadStats
-from repro.tpcc.loader import TpccDatabase, load_tpcc
+from repro.tpcc.driver import WorkloadStats
 from repro.tpcc.scale import ScaleProfile
+from repro.workload.registry import (
+    TPCC_SPEC,
+    WorkloadSpec,
+    get_workload_entry,
+    load_workload,
+)
 
 
 @dataclass
@@ -114,27 +119,33 @@ def summarise_run(
 
 
 class ExperimentRunner:
-    """Owns one (config, scale) system-under-test end to end."""
+    """Owns one (config, scale, workload) system-under-test end to end."""
 
     def __init__(
         self,
         config: SystemConfig,
         scale: ScaleProfile,
         seed: int = 42,
-        loader: Callable[[SimulatedDBMS, ScaleProfile], TpccDatabase] | None = None,
+        loader: Callable[[SimulatedDBMS, ScaleProfile], Any] | None = None,
+        workload: WorkloadSpec | None = None,
     ) -> None:
         self.config = config
         self.scale = scale
         self.seed = seed
+        self.workload = TPCC_SPEC if workload is None else workload
+        entry = get_workload_entry(self.workload.name)
         self.dbms = SimulatedDBMS(config)
         # ``loader`` lets the sweep engine substitute a warm-state fork
-        # (:mod:`repro.sim.warmstate`) for the from-scratch TPC-C load; the
-        # default builds the database the usual way.
+        # (:mod:`repro.sim.warmstate`) for the from-scratch load; the
+        # default builds the database the usual way through the workload
+        # registry (:mod:`repro.workload.registry`).
         if loader is None:
-            self.database: TpccDatabase = load_tpcc(self.dbms, scale, seed=seed)
+            self.database = load_workload(self.dbms, scale, seed, self.workload)
         else:
             self.database = loader(self.dbms, scale)
-        self.driver = TpccDriver(self.database, seed=seed + 1)
+        self.driver = entry.make_driver(
+            self.database, seed + 1, **entry.config_knobs(self.workload)
+        )
         self._last_checkpoint_wall = 0.0
         self.warmup_transactions = 0
 
@@ -220,8 +231,9 @@ def run_steady_state(
     warmup_max: int = 50_000,
     checkpoint_interval: float | None = None,
     seed: int = 42,
+    workload: WorkloadSpec | None = None,
 ) -> RunResult:
     """One-call convenience: build → warm up → measure → summarise."""
-    runner = ExperimentRunner(config, scale, seed=seed)
+    runner = ExperimentRunner(config, scale, seed=seed, workload=workload)
     runner.warm_up(warmup_min, warmup_max)
     return runner.measure(measure_transactions, checkpoint_interval)

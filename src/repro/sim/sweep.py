@@ -129,11 +129,17 @@ class Sweep:
         jobs: int | None = 1,
         collect_obs: bool = False,
         shared_seed: bool = False,
+        workload: str = "tpcc",
+        workload_knobs: dict | tuple = (),
     ) -> None:
         if not dimensions:
             raise ConfigError("a sweep needs at least one dimension")
         if any(len(values) == 0 for values in dimensions.values()):
             raise ConfigError("every sweep dimension needs at least one value")
+        from repro.workload.registry import workload_spec
+
+        # Canonicalise (and validate) once up front; every cell shares it.
+        spec = workload_spec(workload, dict(workload_knobs))
         self.dimensions = dict(dimensions)
         self.config_factory = config_factory
         self.scale = scale
@@ -144,6 +150,8 @@ class Sweep:
         self.jobs = jobs
         self.collect_obs = collect_obs
         self.shared_seed = shared_seed
+        self.workload = spec.name
+        self.workload_knobs = spec.knobs
         self._explicit_cells: list[CellSpec] | None = None
 
     @classmethod
@@ -175,6 +183,8 @@ class Sweep:
         sweep.warmup_max = cells[0].warmup_max
         sweep.seed = cells[0].seed
         sweep.jobs = jobs
+        sweep.workload = cells[0].workload
+        sweep.workload_knobs = cells[0].workload_knobs
         sweep.collect_obs = any(spec.collect_obs for spec in cells)
         sweep.shared_seed = len({(spec.scale, spec.seed) for spec in cells}) == 1
         sweep._explicit_cells = list(cells)
@@ -206,6 +216,8 @@ class Sweep:
                     config=self.config_factory(**bound),
                     scale=self.scale,
                     seed=self.seed if self.shared_seed else derive_cell_seed(self.seed, key),
+                    workload=self.workload,
+                    workload_knobs=self.workload_knobs,
                     measure_transactions=self.measure_transactions,
                     warmup_min=self.warmup_min,
                     warmup_max=self.warmup_max,
@@ -262,10 +274,15 @@ class Sweep:
         """
         from repro.sim.replay import cached_trace_exists
 
-        streams = {(spec.scale, spec.seed) for spec in specs}
+        streams = {
+            (spec.scale, spec.seed, spec.workload_spec()) for spec in specs
+        }
         if len(streams) <= 1:
             return
-        if any(cached_trace_exists(scale, seed) for scale, seed in streams):
+        if any(
+            cached_trace_exists(scale, seed, workload)
+            for scale, seed, workload in streams
+        ):
             return
         warnings.warn(
             f"fast sweep over {len(streams)} per-cell seeds with no cached "

@@ -6,8 +6,8 @@ Two layers of memoization live here, both per worker process:
 (scale, seed) pair starts from the *same* loaded database — the population
 logic is deterministic and does not depend on any system knob — yet the
 naive sweep re-runs the loader for each cell.  This module loads once per
-(scale, seed) per worker process, keeps the pristine result memoized, and
-hands each cell a private fork:
+(scale, seed, workload) per worker process, keeps the pristine result
+memoized, and hands each cell a private fork:
 
 * the catalog / heap-file / index graph is ``deepcopy``-ed in one call, so
   every internal cross-reference (a heap's ``TableInfo`` *is* the catalog's)
@@ -56,42 +56,58 @@ from repro.db.catalog import Catalog
 from repro.db.heap import HeapFile
 from repro.db.index import HashIndex
 from repro.obs import OBS
-from repro.tpcc.loader import TpccDatabase, estimate_db_pages, load_tpcc
 from repro.tpcc.scale import ScaleProfile
+from repro.workload.registry import (
+    TPCC_SPEC,
+    WorkloadSpec,
+    estimate_workload_pages,
+    get_workload_entry,
+    load_workload,
+)
 
 
 @dataclass(frozen=True)
 class WarmSnapshot:
-    """Pristine post-load state for one (scale, seed); never mutated."""
+    """Pristine post-load state for one (scale, seed, workload).
+
+    ``state`` is whatever the workload entry's ``fork_state`` hook
+    extracted from the loaded database handle (TPC-C's undelivered-order
+    queues and name span; ``None`` for stateless workloads) — deep-copied
+    per fork and fed back through the entry's ``refork`` hook.
+    """
 
     scale: ScaleProfile
     seed: int
+    workload: WorkloadSpec
     catalog: Catalog
     tables: dict[str, HeapFile]
     indexes: dict[str, HashIndex]
     disk_slots: dict[int, Any]
-    undelivered: dict[tuple[int, int], Any]
-    name_span: int
+    state: Any
 
 
-#: Per-process memo: (scale, seed) -> WarmSnapshot.  Worker processes build
-#: their own entries on first use; nothing here crosses process boundaries.
-_SNAPSHOTS: dict[tuple[ScaleProfile, int], WarmSnapshot] = {}
+#: Per-process memo: (scale, seed, workload) -> WarmSnapshot.  Worker
+#: processes build their own entries on first use; nothing here crosses
+#: process boundaries.
+_SNAPSHOTS: dict[tuple[ScaleProfile, int, WorkloadSpec], WarmSnapshot] = {}
 
 #: One-time load cost per memo entry, in harness seconds.  Benchmarks report
 #: this separately so sweep timings stop charging the fixed load to whichever
 #: cell happened to build the snapshot.
-_LOAD_SECONDS: dict[tuple[ScaleProfile, int], float] = {}
+_LOAD_SECONDS: dict[tuple[ScaleProfile, int, WorkloadSpec], float] = {}
 
 
 def snapshot_load_seconds() -> float:
-    """Total one-time TPC-C load cost paid by this process's snapshots."""
+    """Total one-time workload load cost paid by this process's snapshots."""
     return sum(_LOAD_SECONDS.values())
 
 
-def get_snapshot(scale: ScaleProfile, seed: int) -> WarmSnapshot:
+def get_snapshot(
+    scale: ScaleProfile, seed: int, workload: WorkloadSpec | None = None
+) -> WarmSnapshot:
     """Return the memoized post-load snapshot, building it on first use."""
-    key = (scale, seed)
+    workload = TPCC_SPEC if workload is None else workload
+    key = (scale, seed, workload)
     snapshot = _SNAPSHOTS.get(key)
     if snapshot is not None:
         if OBS.enabled:
@@ -102,43 +118,47 @@ def get_snapshot(scale: ScaleProfile, seed: int) -> WarmSnapshot:
     # The loader's output is independent of every system knob, so any
     # config works for the donor system; hdd-only is the cheapest build.
     config = scaled_reference_config(
-        estimate_db_pages(scale), policy=CachePolicy.NONE
+        estimate_workload_pages(workload, scale), policy=CachePolicy.NONE
     )
     t0 = time.perf_counter()
     dbms = SimulatedDBMS(config)
-    database = load_tpcc(dbms, scale, seed=seed)
+    database = load_workload(dbms, scale, seed, workload)
     _LOAD_SECONDS[key] = time.perf_counter() - t0
     if OBS.enabled:
         OBS.gauge("replay.snapshot.load_seconds").set(_LOAD_SECONDS[key])
     snapshot = WarmSnapshot(
         scale=scale,
         seed=seed,
+        workload=workload,
         catalog=dbms.catalog,
         tables=dbms.tables,
         indexes=dbms.indexes,
         disk_slots=dict(dbms.disk.store._slots),
-        undelivered=database.undelivered,
-        name_span=database.name_span,
+        state=get_workload_entry(workload.name).fork_state(database),
     )
     _SNAPSHOTS[key] = snapshot
     return snapshot
 
 
-def fork_database(dbms: SimulatedDBMS, scale: ScaleProfile, seed: int) -> TpccDatabase:
+def fork_database(
+    dbms: SimulatedDBMS,
+    scale: ScaleProfile,
+    seed: int,
+    workload: WorkloadSpec | None = None,
+):
     """Install a private copy of the loaded database into ``dbms``.
 
-    Drop-in replacement for :func:`repro.tpcc.loader.load_tpcc` (modulo the
-    memoization): the returned :class:`TpccDatabase` and the adopted DBMS
-    state are bit-for-bit what a fresh load would have produced.
+    Drop-in replacement for the workload's loader (modulo the
+    memoization): the returned database handle and the adopted DBMS state
+    are bit-for-bit what a fresh load would have produced.
     """
-    snapshot = get_snapshot(scale, seed)
-    catalog, tables, indexes, undelivered = copy.deepcopy(
-        (snapshot.catalog, snapshot.tables, snapshot.indexes, snapshot.undelivered)
+    workload = TPCC_SPEC if workload is None else workload
+    snapshot = get_snapshot(scale, seed, workload)
+    catalog, tables, indexes, state = copy.deepcopy(
+        (snapshot.catalog, snapshot.tables, snapshot.indexes, snapshot.state)
     )
     dbms.adopt_database_state(catalog, tables, indexes, snapshot.disk_slots)
-    database = TpccDatabase(dbms=dbms, scale=scale, undelivered=undelivered)
-    database.name_span = snapshot.name_span
-    return database
+    return get_workload_entry(workload.name).refork(dbms, scale, state)
 
 
 # -- post-warm-up forks -------------------------------------------------------

@@ -32,20 +32,28 @@ _MIX = (
 
 @dataclass
 class WorkloadStats:
-    """Counts accumulated over a driver run."""
+    """Counts accumulated over a driver run.
+
+    ``headline_kind`` names the transaction kind behind the headline
+    throughput metric — New-Order for TPC-C (the tpmC definition), the
+    sole kind for single-kind workloads from the workload registry.
+    ``neworder_commits`` keeps its historic name but counts commits of
+    whatever the headline kind is.
+    """
 
     executed: int = 0
     committed: int = 0
     aborted: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     neworder_commits: int = 0
+    headline_kind: str = "new_order"
 
     def record(self, result: TxResult) -> None:
         self.executed += 1
         self.by_kind[result.kind] = self.by_kind.get(result.kind, 0) + 1
         if result.committed:
             self.committed += 1
-            if result.kind == "new_order":
+            if result.kind == self.headline_kind:
                 self.neworder_commits += 1
         else:
             self.aborted += 1

@@ -1,12 +1,41 @@
-"""Synthetic workloads beyond TPC-C (skew / read-write-mix studies).
+"""Workloads beyond TPC-C, behind one registry API.
 
-A small key-value workload generator (:mod:`~repro.workload.synthetic`)
-with Zipfian key skew and a tunable read/write mix, driving the same DBMS
-data path as TPC-C.  Used for sensitivity studies the paper motivates but
-does not tabulate — how FaCE's hit ratio and write reduction respond as
-locality and write intensity move away from TPC-C's defaults.
+:mod:`repro.workload.registry` catalogues every workload the experiment
+layers can drive — ``tpcc`` (the paper's), ``tpch-scan`` (sequential-scan
+analytics for the §3.3 scan-resistance experiments) and ``ycsb``
+(Zipf-skewed point access with a Flashield-style write-churn preset) —
+mirroring the flash-cache policy registry's shape: one frozen entry per
+workload with a schema/loader, a driver factory and validated knobs.
+
+The legacy :class:`~repro.workload.synthetic.SyntheticKVWorkload` remains
+importable but is deprecated in favour of
+``make_workload("ycsb", dbms, ...)``.
 """
 
+from repro.workload.registry import (
+    TPCC_SPEC,
+    WorkloadEntry,
+    WorkloadSpec,
+    available_workloads,
+    estimate_workload_pages,
+    get_workload_entry,
+    load_workload,
+    make_workload,
+    workload_spec,
+)
 from repro.workload.synthetic import KV_SCHEMA, SyntheticKVWorkload, ZipfGenerator
 
-__all__ = ["KV_SCHEMA", "SyntheticKVWorkload", "ZipfGenerator"]
+__all__ = [
+    "KV_SCHEMA",
+    "SyntheticKVWorkload",
+    "TPCC_SPEC",
+    "WorkloadEntry",
+    "WorkloadSpec",
+    "ZipfGenerator",
+    "available_workloads",
+    "estimate_workload_pages",
+    "get_workload_entry",
+    "load_workload",
+    "make_workload",
+    "workload_spec",
+]

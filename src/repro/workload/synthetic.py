@@ -15,6 +15,7 @@ from __future__ import annotations
 import bisect
 import itertools
 import random
+import warnings
 
 from repro.core.dbms import SimulatedDBMS
 from repro.db.schema import TableSchema, int_col, str_col
@@ -56,6 +57,14 @@ class ZipfGenerator:
 class SyntheticKVWorkload:
     """A loadable, runnable key-value workload over the simulated DBMS.
 
+    .. deprecated::
+        Superseded by the ``ycsb`` workload registry entry —
+        ``repro.workload.registry.make_workload("ycsb", dbms, ...)``
+        returns the same access pattern behind the driver protocol every
+        engine layer speaks (trace recording, replay, parallel sweeps).
+        Direct construction keeps working but emits a
+        ``DeprecationWarning``.
+
     Parameters
     ----------
     n_keys:
@@ -77,6 +86,12 @@ class SyntheticKVWorkload:
         ops_per_tx: int = 8,
         seed: int = 17,
     ) -> None:
+        warnings.warn(
+            "SyntheticKVWorkload is deprecated; use "
+            'repro.workload.registry.make_workload("ycsb", dbms, ...) instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not 0.0 <= update_fraction <= 1.0:
             raise WorkloadError("update_fraction must be within [0, 1]")
         if ops_per_tx < 1:

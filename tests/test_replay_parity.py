@@ -35,6 +35,7 @@ from repro.sim.replay import (
 from repro.sim.warmstate import clear_snapshots
 from repro.tpcc.loader import estimate_db_pages
 from repro.tpcc.scale import TINY
+from repro.workload.registry import estimate_workload_pages, workload_spec
 
 DB_PAGES = estimate_db_pages(TINY)
 
@@ -247,6 +248,77 @@ def test_trace_cache_round_trip(tmp_path, monkeypatch):
     # The cache served the request: the live recorder only recorded the
     # self-validation prefix, not the full 200 transactions.
     assert fresh.trace.n_transactions < 200
+
+
+# -- workload registry: parity and trace identity per workload ---------------
+
+
+def _workload_cell(name: str, policy: CachePolicy, seed: int = 42, **knobs) -> CellSpec:
+    """A CellSpec running a registry workload, sized via its page estimate."""
+    spec_w = workload_spec(name, knobs or None)
+    return CellSpec(
+        key=(name, policy.value, seed),
+        config=scaled_reference_config(
+            estimate_workload_pages(spec_w, TINY), cache_fraction=0.08, policy=policy
+        ),
+        scale=TINY,
+        seed=seed,
+        workload=spec_w.name,
+        workload_knobs=spec_w.knobs,
+        **FAST,
+    )
+
+
+@pytest.mark.parametrize("name", ["tpcc", "tpch-scan", "ycsb"])
+def test_replay_parity_every_workload(name):
+    # The tentpole claim generalised: boundary traces are workload-agnostic,
+    # so each registry workload replays bit-identically to full execution.
+    spec = _workload_cell(name, CachePolicy.FACE_GSC)
+    full = dataclasses.asdict(run_cell(spec))
+    recorder = TraceRecorder(TINY, spec.seed, workload=spec.workload_spec())
+    replayed = dataclasses.asdict(replay_cell(spec, recorder))
+    full.pop("obs"), replayed.pop("obs")
+    assert replayed == full
+
+
+@pytest.mark.parametrize("name", ["tpch-scan", "ycsb"])
+def test_fast_mode_bit_identical_per_workload(name):
+    # run_cells(fast=True) groups by (scale, seed, workload): a non-tpcc
+    # grid records its own native trace and replays it for every sibling.
+    specs = [
+        _workload_cell(name, CachePolicy.FACE_GSC),
+        _workload_cell(name, CachePolicy.LRU2),
+    ]
+    slow = run_cells(specs, jobs=1)
+    fast = run_cells(specs, jobs=1, fast=True)
+    assert list(fast) == list(slow) == [s.key for s in specs]
+    for key in slow:
+        assert dataclasses.asdict(fast[key]) == dataclasses.asdict(slow[key])
+
+
+def test_trace_cache_workload_mismatch_fails_closed(tmp_path, monkeypatch):
+    # Satellite 6: a tpcc trace file renamed onto a ycsb cache key must be
+    # rejected by the header's workload token, and the ycsb recorder falls
+    # back to a fresh native recording — never replaying a donor from
+    # another workload.
+    from repro.sim.replay import _cache_key
+
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    donor = TraceRecorder(TINY, 42)
+    donor.ensure(150)
+    assert donor.save_cache()
+
+    ycsb = workload_spec("ycsb")
+    (tmp_path / _cache_key(TINY, 42, "tpcc")).rename(
+        tmp_path / _cache_key(TINY, 42, ycsb.token)
+    )
+    assert cached_trace_exists(TINY, 42, ycsb)
+
+    fresh = TraceRecorder(TINY, 42, workload=ycsb)
+    trace = fresh.ensure(150)
+    # The mismatched trace was ignored: everything was recorded natively.
+    assert trace.n_transactions >= 150
+    assert fresh.trace.n_transactions >= 150
 
 
 def test_trace_cache_rejects_corrupt_file(tmp_path, monkeypatch):

@@ -8,6 +8,20 @@ from repro.errors import WorkloadError
 from repro.workload.synthetic import SyntheticKVWorkload, ZipfGenerator
 from tests.conftest import tiny_config
 
+# Direct SyntheticKVWorkload construction is deprecated in favour of
+# make_workload("ycsb", ...); these tests pin the legacy behaviour itself,
+# so silence the (separately tested) warning rather than sprinkle
+# pytest.warns around every construction.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:SyntheticKVWorkload is deprecated:DeprecationWarning"
+)
+
+
+def test_direct_construction_warns_deprecation():
+    dbms = SimulatedDBMS(tiny_config(CachePolicy.NONE))
+    with pytest.warns(DeprecationWarning, match=r'make_workload\("ycsb"'):
+        SyntheticKVWorkload(dbms, n_keys=100, seed=1)
+
 
 class TestZipf:
     def test_ranks_within_range(self):
