@@ -108,6 +108,7 @@ ABLATION_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_ablation.json"
 RECOVERY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_recovery.json"
 LATENCY_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_latency.json"
 SCAN_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_scan.json"
+STORAGE_RECORD_PATH = Path(__file__).resolve().parent / "BENCH_storage.json"
 HISTORY_LIMIT = 20
 #: Warn when serial wall-seconds-per-cell grows past previous * (1 + tol).
 REGRESSION_TOLERANCE = 0.30
@@ -984,6 +985,100 @@ def recovery_warnings(record: dict) -> list[str]:
     return warnings
 
 
+#: Persistent page-store backends may cost real (harness) time — every
+#: page put/get crosses an encode/decode + file boundary — but must never
+#: change simulated results.  The overhead gate is deliberately loose
+#: (shared-runner noise; the parity gate is the load-bearing one).
+MAX_STORAGE_OVERHEAD = 50.0
+STORAGE_MEASURE_TX = 1000
+SMOKE_STORAGE_MEASURE_TX = 300
+
+
+def run_storage_record(jobs: int, smoke: bool) -> dict:
+    """Time one identical cell per page-store backend; gate replay parity.
+
+    The memory pass runs first and untimed once so that the per-process
+    warm-state snapshot cache is populated before any timing starts —
+    otherwise whichever backend goes first would be charged the one-time
+    workload load.
+    """
+    import dataclasses
+
+    from repro.sim.experiment import ExperimentConfig
+    from repro.storage.registry import available_backends
+
+    scale = TINY if smoke else BENCH
+    transactions = SMOKE_STORAGE_MEASURE_TX if smoke else STORAGE_MEASURE_TX
+
+    def run_backend(backend: str):
+        config = ExperimentConfig(
+            scale=scale,
+            seed=SEED,
+            measure_transactions=transactions,
+            page_store=backend,
+        )
+        spec = CellSpec.from_config((backend,), config)
+        start = time.perf_counter()
+        result = run_cells([spec], jobs=1)[(backend,)]
+        return time.perf_counter() - start, result
+
+    run_backend("memory")  # warm the load snapshot, discard the timing
+    walls: dict[str, float] = {}
+    results = {}
+    for backend in available_backends():
+        walls[backend], results[backend] = run_backend(backend)
+
+    def strip(result):
+        return dataclasses.replace(result, name="", obs=None)
+
+    reference = strip(results["memory"])
+    parity = {
+        backend: strip(result) == reference
+        for backend, result in results.items()
+    }
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "smoke" if smoke else "full",
+        "scale": "tiny" if smoke else "bench",
+        "transactions": transactions,
+        "backends": {
+            backend: {
+                "wall_seconds": round(walls[backend], 3),
+                "overhead_vs_memory": round(
+                    walls[backend] / walls["memory"], 3
+                ),
+                "tpmc": round(results[backend].tpmc, 3),
+                "flash_hit_rate": round(results[backend].flash_hit_rate, 6),
+                "parity_with_memory": parity[backend],
+            }
+            for backend in walls
+        },
+        "replay_parity": all(parity.values()),
+    }
+
+
+def storage_warnings(record: dict) -> list[str]:
+    warnings = []
+    if not record.get("replay_parity", False):
+        divergent = [
+            name
+            for name, cell in record.get("backends", {}).items()
+            if not cell.get("parity_with_memory", False)
+        ]
+        warnings.append(
+            "page-store backends are NOT bit-identical to memory: "
+            + ", ".join(divergent)
+        )
+    for name, cell in record.get("backends", {}).items():
+        if cell["overhead_vs_memory"] > MAX_STORAGE_OVERHEAD:
+            warnings.append(
+                f"backend {name} harness overhead "
+                f"{cell['overhead_vs_memory']}x vs memory "
+                f"(> {MAX_STORAGE_OVERHEAD}x ceiling)"
+            )
+    return warnings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=2,
@@ -1018,17 +1113,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="record the scan-resistance grid (tpch-scan "
                              "workload over {face+gsc, lru2, lc}) to "
                              "BENCH_scan.json instead of the sweep")
+    parser.add_argument("--storage", action="store_true",
+                        help="record the page-store backend pass (one "
+                             "identical cell per backend: replay parity + "
+                             "harness overhead) to BENCH_storage.json "
+                             "instead of the sweep")
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
     exclusive = [
         name for name, on in
         (("--ablation", args.ablation), ("--recovery", args.recovery),
-         ("--latency", args.latency), ("--scan", args.scan))
+         ("--latency", args.latency), ("--scan", args.scan),
+         ("--storage", args.storage))
         if on
     ]
     if len(exclusive) > 1:
         parser.error(f"{' and '.join(exclusive)} are mutually exclusive")
-    if args.recovery:
+    if args.storage:
+        default_output = STORAGE_RECORD_PATH
+    elif args.recovery:
         default_output = RECOVERY_RECORD_PATH
     elif args.ablation:
         default_output = ABLATION_RECORD_PATH
@@ -1045,7 +1148,10 @@ def main(argv: list[str] | None = None) -> int:
         existing = json.loads(output.read_text())
     previous = existing.get("latest")
 
-    if args.recovery:
+    if args.storage:
+        record = run_storage_record(args.jobs, args.smoke)
+        warnings = storage_warnings(record)
+    elif args.recovery:
         record = run_recovery_record(args.jobs, args.smoke)
         warnings = recovery_warnings(record)
     elif args.ablation:
@@ -1074,6 +1180,20 @@ def main(argv: list[str] | None = None) -> int:
     output.write_text(
         json.dumps({"latest": record, "history": history}, indent=2) + "\n"
     )
+
+    if args.storage:
+        print(f"wrote {output}")
+        print(f"  mode: {record['mode']}  scale: {record['scale']}  "
+              f"tx/cell: {record['transactions']}  "
+              f"parity: {record['replay_parity']}")
+        for backend, cell in record["backends"].items():
+            print(f"  {backend}: {cell['wall_seconds']}s "
+                  f"({cell['overhead_vs_memory']}x vs memory)  "
+                  f"tpmC {cell['tpmc']:,.0f}  "
+                  f"parity {cell['parity_with_memory']}")
+        for warning in warnings:
+            print(f"WARNING: {warning}", file=sys.stderr)
+        return 1 if (warnings and args.strict) else 0
 
     if args.scan:
         print(f"wrote {output}")

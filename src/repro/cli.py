@@ -44,6 +44,7 @@ from repro.sim.runner import ExperimentRunner
 from repro.sim.scenario import CrashRecoveryScenario
 from repro.sim.sweep import Sweep
 from repro.storage.profiles import TABLE1_PROFILES
+from repro.storage.registry import available_backends
 from repro.tpcc.scale import BENCH, TINY, ScaleProfile
 from repro.workload.registry import (
     WorkloadSpec,
@@ -96,6 +97,7 @@ def _build_runner(args, policy: CachePolicy, **overrides) -> ExperimentRunner:
         estimate_workload_pages(workload, scale),
         cache_fraction=args.cache_fraction,
         policy=policy,
+        page_store=args.page_store,
         **overrides,
     )
     return ExperimentRunner(config, scale, seed=args.seed, workload=workload)
@@ -135,6 +137,7 @@ def cmd_run(args) -> int:
                 estimate_workload_pages(workload, scale),
                 cache_fraction=args.cache_fraction,
                 policy=_POLICY_NAMES[name],
+                page_store=args.page_store,
             ),
             scale=scale,
             seed=args.seed,
@@ -174,6 +177,7 @@ def cmd_recover(args) -> int:
                 estimate_workload_pages(workload, scale),
                 cache_fraction=args.cache_fraction,
                 policy=_POLICY_NAMES[name],
+                page_store=args.page_store,
             ),
             scale=scale,
             seed=args.seed,
@@ -188,6 +192,109 @@ def cmd_recover(args) -> int:
         _report_fast_path()
     reports = [(crash.name, crash.report) for crash in cells.values()]
     print(restart_report_table(reports, title="Crash + restart"))
+    return 0
+
+
+def cmd_crash(args) -> int:
+    """In-process or hard (real SIGKILL) crash + restart for one policy."""
+    import json
+    import tempfile
+
+    from repro.sim import hardcrash
+    from repro.storage.registry import get_backend_entry
+
+    policy = _POLICY_NAMES[args.policy]
+    workload = _workload(args)
+
+    if args.victim:
+        # Re-exec target: run the schedule on persistent storage and die
+        # by SIGKILL.  Never returns.
+        hardcrash.run_victim(
+            state_dir=args.state_dir,
+            backend=args.page_store,
+            scale_name=args.scale,
+            seed=args.seed,
+            workload=workload,
+            policy=policy,
+            cache_fraction=args.cache_fraction,
+            checkpoint_interval=args.interval,
+            crash_point=args.crash_point,
+        )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    if args.hard:
+        if not get_backend_entry(args.page_store).persistent:
+            raise SystemExit(
+                "crash --hard needs a persistent --page-store "
+                "(sqlite or mmap); 'memory' dies with the process"
+            )
+        state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-crash-")
+        victim_argv = [
+            "--scale", args.scale,
+            "--seed", str(args.seed),
+            "--workload", args.workload,
+            *[f"--workload-knob={t}" for t in args.workload_knobs],
+            *(
+                ["--workload-preset", args.workload_preset]
+                if args.workload_preset
+                else []
+            ),
+            "--cache-fraction", str(args.cache_fraction),
+            "--page-store", args.page_store,
+            "crash",
+            "--victim",
+            "--policy", args.policy,
+            "--interval", str(args.interval),
+            "--crash-point", str(args.crash_point),
+            "--state-dir", state_dir,
+        ]
+        print(
+            f"# hard crash: victim on {args.page_store} under {state_dir}",
+            file=sys.stderr,
+        )
+        result = hardcrash.run_hard_crash(victim_argv, state_dir)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            surv = result["survival"]
+            print(f"# victim killed after {result['executed_before_crash']} tx, "
+                  f"{result['checkpoints_before_crash']} checkpoint(s)")
+            for role in ("disk", "flash"):
+                print(f"{role}: {surv[role]['recovered']} LBAs survived "
+                      f"({surv[role]['missing']} of {surv[role]['expected']} "
+                      f"predicted missing)")
+            print(f"restart: {result['restart_seconds']:.4f}s simulated, "
+                  f"{result['flash_read_fraction']:.1%} of recovery reads "
+                  f"from flash")
+            if result["mismatches"]:
+                print(f"soft-model mismatches: {result['mismatches']}")
+            print(f"passed: {result['passed']}")
+        return 0 if result["passed"] else 1
+
+    # Soft mode: the same schedule fully in-process (the model the hard
+    # path is validated against), reported in the same shape.
+    runner = _build_runner(args, policy)
+    scenario = CrashRecoveryScenario(
+        checkpoint_interval=args.interval,
+        crash_point=args.crash_point,
+        warmup_max=50_000,
+    )
+    crash = scenario.execute(runner)
+    if args.json:
+        print(json.dumps(
+            {
+                "executed_before_crash": crash.transactions_before_crash,
+                "checkpoints_before_crash": crash.checkpoints_before_crash,
+                "soft": hardcrash.discrete_report(crash.report),
+                "restart_seconds": crash.restart_seconds,
+                "flash_read_fraction": crash.flash_read_fraction,
+            },
+            indent=2,
+        ))
+    else:
+        print(restart_report_table(
+            [(crash.name, crash.report)], title="Crash + restart (in-process)"
+        ))
     return 0
 
 
@@ -206,6 +313,7 @@ def cmd_serve(args) -> int:
         scenario="service",
         think_time_ms=args.think_ms,
         max_inflight=args.max_inflight,
+        page_store=args.page_store,
     )
     specs = [
         CellSpec.from_config((name, n), base.with_(policy=name, n_clients=n))
@@ -276,6 +384,7 @@ def cmd_stats(args) -> int:
             estimate_workload_pages(workload, scale),
             cache_fraction=args.cache_fraction,
             policy=policy,
+            page_store=args.page_store,
         )
         runner = ReplayRunner(
             config, get_recorder(scale, args.seed, workload=workload)
@@ -430,7 +539,10 @@ def cmd_sweep(args) -> int:
     sweep = Sweep(
         dimensions={"fraction": list(args.fractions)},
         config_factory=lambda fraction: scaled_reference_config(
-            db_pages, cache_fraction=fraction, policy=policy
+            db_pages,
+            cache_fraction=fraction,
+            policy=policy,
+            page_store=args.page_store,
         ),
         scale=scale,
         measure_transactions=args.transactions,
@@ -487,6 +599,7 @@ def cmd_ablate(args) -> int:
         cache_fraction=args.cache_fraction,
         measure_transactions=args.transactions,
         warmup_max=50_000,
+        page_store=args.page_store,
         # --recovery turns every cell into a Section 5.5 crash/restart
         # measurement; axes like checkpoint_interval / crash_point /
         # ckpt_segment_entries then vary the recovery protocol itself.
@@ -717,6 +830,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-fraction", dest="cache_fraction", type=float, default=0.12,
         help="flash cache as a fraction of the database (default 0.12)",
     )
+    parser.add_argument(
+        "--page-store", dest="page_store", default="memory",
+        choices=sorted(available_backends()),
+        help="page-store backend holding simulated page bytes "
+             "(default memory; sqlite/mmap persist across process death "
+             "and enable out-of-core scales — results are bit-identical "
+             "either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="steady-state TPC-C measurement")
@@ -740,6 +861,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the crash schedule over the trace-replay "
                               "fast path (bit-identical restart reports)")
     recover.set_defaults(func=cmd_recover)
+
+    crash = sub.add_parser(
+        "crash",
+        help="crash/restart for one policy; --hard kills a real process",
+        description="Run the Section 5.5 crash schedule and the Section "
+        "4.2 restart. Default: fully in-process (the crash *model*). With "
+        "--hard: re-exec a victim process on a persistent --page-store, "
+        "SIGKILL it at the kill point, reopen its files in a fresh "
+        "process, verify every LBA the model predicts survived actually "
+        "did, and require the restart's discrete report to match the "
+        "model bit for bit (exit 1 otherwise).",
+    )
+    crash.add_argument("--policy", default="face+gsc",
+                       choices=sorted(_POLICY_NAMES),
+                       help="flash-cache policy under test (default face+gsc)")
+    crash.add_argument("--hard", action="store_true",
+                       help="kill and re-exec a real process; needs a "
+                            "persistent --page-store (sqlite or mmap)")
+    crash.add_argument("--interval", type=float, default=2.0,
+                       help="checkpoint interval in simulated seconds")
+    crash.add_argument("--crash-point", dest="crash_point", type=float,
+                       default=0.5,
+                       help="where in an interval the kill lands "
+                            "(default 0.5)")
+    crash.add_argument("--state-dir", dest="state_dir", default=None,
+                       help="directory for the persistent page-store files "
+                            "and crash manifest (default: a fresh temp dir)")
+    crash.add_argument("--json", action="store_true",
+                       help="emit the crash/restart report as JSON")
+    crash.add_argument("--victim", action="store_true",
+                       help=argparse.SUPPRESS)  # internal re-exec flag
+    crash.set_defaults(func=cmd_crash)
 
     serve = sub.add_parser(
         "serve",

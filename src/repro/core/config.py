@@ -90,6 +90,17 @@ class SystemConfig:
     #: Seconds of CPU per logical page access (latch, search within page).
     cpu_per_page_access: float = 5e-6
 
+    # -- page-store backend --------------------------------------------------
+    #: Where page-image bytes live (see :mod:`repro.storage.registry`):
+    #: "memory" (default dict), "sqlite", or "mmap".  Persistent backends
+    #: enable out-of-core scales and hard-crash tests; the device model
+    #: stays authoritative for timing either way.
+    page_store: str = "memory"
+    #: Directory for persistent backend files.  Empty -> throwaway temp
+    #: files; set to a real directory so that a later process can reopen
+    #: the same bytes (``python -m repro crash --hard``).
+    page_store_dir: str = ""
+
     # -- misc ---------------------------------------------------------------
     #: Label used in experiment output; defaults to the policy name.
     label: str = ""
@@ -103,6 +114,11 @@ class SystemConfig:
             raise ConfigError("n_disks must be >= 1")
         if self.segment_entries < 1:
             raise ConfigError("segment_entries must be >= 1")
+        # Late import: repro.storage never imports repro.core, so this
+        # validates the name without creating an import cycle.
+        from repro.storage.registry import get_backend_entry
+
+        get_backend_entry(self.page_store)
 
     @property
     def display_name(self) -> str:

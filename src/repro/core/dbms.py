@@ -43,6 +43,7 @@ from repro.db.page import Page, PageImage
 from repro.db.schema import TableSchema
 from repro.errors import CatalogError, TransactionError
 from repro.obs import OBS
+from repro.storage.registry import build_page_store
 from repro.storage.volume import Volume
 from repro.wal.log import LogManager
 from repro.wal.records import UpdateRecord
@@ -88,7 +89,10 @@ class SimulatedDBMS:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.catalog = Catalog()
-        self.disk = Volume(build_database_device(config))
+        self.disk = Volume(
+            build_database_device(config),
+            build_page_store(config, "disk", config.disk_capacity_pages),
+        )
         if config.ssd_only:
             # "Database stored entirely on the SSD" (Figure 4) means the
             # WAL shares the device too — PostgreSQL keeps pg_xlog inside

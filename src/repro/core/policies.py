@@ -20,6 +20,7 @@ from repro.storage.device import Device
 from repro.storage.hdd import DiskDevice
 from repro.storage.profiles import PAGE_SIZE
 from repro.storage.raid import Raid0Array
+from repro.storage.registry import build_page_store
 from repro.storage.ssd import FlashDevice
 from repro.storage.volume import Volume
 
@@ -51,7 +52,10 @@ def build_flash_volume(config: SystemConfig) -> Volume | None:
     if not config.cache_policy.uses_flash or config.ssd_only:
         return None
     total = config.cache_pages + _metadata_pages_for(config)
-    return Volume(FlashDevice(config.flash_profile, total))
+    return Volume(
+        FlashDevice(config.flash_profile, total),
+        build_page_store(config, "flash", total),
+    )
 
 
 def build_cache(

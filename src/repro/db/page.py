@@ -64,6 +64,20 @@ class PageImage:
         page._image = self
         return page
 
+    def to_bytes(self) -> bytes:
+        """Serialise to the on-media byte layout.
+
+        This is the stable codec persistent page-store backends
+        (:mod:`repro.storage.persistent`) write to disk: header + tagged
+        values, identical to :meth:`Page.to_bytes` for the same contents.
+        """
+        return _pack_page(self.page_id, self.lsn, self.slots)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PageImage":
+        """Parse an image from its on-media byte layout (exact round-trip)."""
+        return Page.from_bytes(data).to_image()
+
     def __deepcopy__(self, memo: dict) -> "PageImage":
         # Immutable by contract (see class docstring), so forked system
         # states (repro.sim.warmstate) share images instead of copying the
@@ -78,47 +92,47 @@ class Page:
     index bucket pages (see :mod:`repro.db.index`); any hashable key works.
     """
 
-    __slots__ = ("page_id", "lsn", "_slots", "_image")
+    __slots__ = ("page_id", "lsn", "_rows", "_image")
 
     def __init__(
         self, page_id: int, lsn: int = 0, slots: dict | None = None
     ) -> None:
         self.page_id = page_id
         self.lsn = lsn
-        self._slots: dict = slots if slots is not None else {}
-        #: Cached frozen snapshot.  Non-``None`` also means ``_slots`` is
+        self._rows: dict = slots if slots is not None else {}
+        #: Cached frozen snapshot.  Non-``None`` also means ``_rows`` is
         #: shared with that image and must be copied before any mutation.
         self._image: PageImage | None = None
 
     @property
     def slots(self) -> dict:
-        return self._slots
+        return self._rows
 
     @slots.setter
     def slots(self, mapping: dict) -> None:
-        self._slots = mapping
+        self._rows = mapping
         self._image = None
 
     # -- row access -----------------------------------------------------------
 
     def get(self, slot) -> tuple | None:
         """Return the row in ``slot`` or ``None`` if empty."""
-        return self._slots.get(slot)
+        return self._rows.get(slot)
 
     def put(self, slot, row: tuple, lsn: int) -> None:
         """Install ``row`` at ``slot``, stamping the page with ``lsn``."""
         if self._image is not None:
-            self._slots = dict(self._slots)
+            self._rows = dict(self._rows)
             self._image = None
-        self._slots[slot] = row
+        self._rows[slot] = row
         self.lsn = lsn
 
     def delete(self, slot, lsn: int) -> None:
         """Remove the row at ``slot`` (idempotent), stamping ``lsn``."""
         if self._image is not None:
-            self._slots = dict(self._slots)
+            self._rows = dict(self._rows)
             self._image = None
-        self._slots.pop(slot, None)
+        self._rows.pop(slot, None)
         self.lsn = lsn
 
     def stamp(self, lsn: int) -> None:
@@ -143,7 +157,7 @@ class Page:
         """
         image = self._image
         if image is None:
-            image = PageImage(self.page_id, self.lsn, self._slots)
+            image = PageImage(self.page_id, self.lsn, self._rows)
             self._image = image
         return image
 
@@ -151,13 +165,7 @@ class Page:
 
     def to_bytes(self) -> bytes:
         """Serialise to the on-media byte layout (insertion order preserved)."""
-        parts = [_HEADER.pack(_MAGIC, self.page_id, self.lsn, len(self.slots))]
-        for slot, row in self.slots.items():
-            parts.append(_encode_value(slot))
-            parts.append(struct.pack("<H", len(row)))
-            for value in row:
-                parts.append(_encode_value(value))
-        return b"".join(parts)
+        return _pack_page(self.page_id, self.lsn, self.slots)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Page":
@@ -182,6 +190,17 @@ class Page:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Page {self.page_id} lsn={self.lsn} rows={len(self.slots)}>"
+
+
+def _pack_page(page_id: int, lsn: int, slots: Mapping[Any, tuple]) -> bytes:
+    """Shared encoder behind :meth:`Page.to_bytes` / :meth:`PageImage.to_bytes`."""
+    parts = [_HEADER.pack(_MAGIC, page_id, lsn, len(slots))]
+    for slot, row in slots.items():
+        parts.append(_encode_value(slot))
+        parts.append(struct.pack("<H", len(row)))
+        for value in row:
+            parts.append(_encode_value(value))
+    return b"".join(parts)
 
 
 def _encode_value(value: Any) -> bytes:

@@ -48,6 +48,7 @@ _SYSTEM_FIELDS = (
     "tac_extent_pages",
     "tac_admit_threshold",
     "ssd_only",
+    "page_store",
     "label",
 )
 
@@ -88,6 +89,11 @@ class ExperimentConfig:
     tac_extent_pages: int = 32
     tac_admit_threshold: int = 2
     ssd_only: bool = False
+    #: Page-store backend holding the simulated bytes (see
+    #: :func:`repro.storage.registry.available_backends`).  Any backend
+    #: yields bit-identical results; persistent ones trade Python-side
+    #: speed for out-of-core scale.
+    page_store: str = "memory"
     label: str = ""
 
     # -- measurement protocol ------------------------------------------------

@@ -133,7 +133,7 @@ def get_snapshot(
         catalog=dbms.catalog,
         tables=dbms.tables,
         indexes=dbms.indexes,
-        disk_slots=dict(dbms.disk.store._slots),
+        disk_slots=dbms.disk.store.snapshot_slots(),
         state=get_workload_entry(workload.name).fork_state(database),
     )
     _SNAPSHOTS[key] = snapshot

@@ -4,8 +4,14 @@ The device models are calibrated against Table 1 of the paper (see
 :mod:`repro.storage.profiles`); the design rationale is in DESIGN.md §6.
 """
 
-from repro.storage.backing import PageStore
+from repro.storage.backing import MemoryPageStore, PageStore
+from repro.storage.codec import decode_storable, encode_storable
 from repro.storage.device import Device, IOKind, IOStats
+from repro.storage.persistent import (
+    MmapPageStore,
+    PersistentPageStore,
+    SqlitePageStore,
+)
 from repro.storage.hdd import DiskDevice
 from repro.storage.profiles import (
     DRAM_TO_FLASH_PRICE_RATIO,
@@ -19,10 +25,18 @@ from repro.storage.profiles import (
     DeviceProfile,
 )
 from repro.storage.raid import RAID0_EFFICIENCY, Raid0Array, make_raid0_profile
+from repro.storage.registry import (
+    BackendEntry,
+    available_backends,
+    build_page_store,
+    get_backend_entry,
+    make_page_store,
+)
 from repro.storage.ssd import PAGES_PER_BLOCK, FlashDevice
 from repro.storage.volume import Volume
 
 __all__ = [
+    "BackendEntry",
     "DRAM_TO_FLASH_PRICE_RATIO",
     "Device",
     "DeviceProfile",
@@ -33,14 +47,23 @@ __all__ = [
     "IOStats",
     "MLC_INTEL_X25M",
     "MLC_SAMSUNG_470",
+    "MemoryPageStore",
+    "MmapPageStore",
     "PAGE_SIZE",
     "PAGES_PER_BLOCK",
     "PageStore",
+    "PersistentPageStore",
     "RAID0_8_DISKS",
     "RAID0_EFFICIENCY",
     "Raid0Array",
     "SLC_INTEL_X25E",
+    "SqlitePageStore",
     "TABLE1_PROFILES",
     "Volume",
-    "make_raid0_profile",
+    "available_backends",
+    "build_page_store",
+    "decode_storable",
+    "encode_storable",
+    "get_backend_entry",
+    "make_page_store",
 ]

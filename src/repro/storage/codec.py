@@ -1,0 +1,144 @@
+"""Byte codec for everything the simulation stores in a page store.
+
+Persistent backends (:mod:`repro.storage.persistent`) hold *bytes*, not
+Python objects, so every storable object kind needs a stable on-media
+encoding that round-trips exactly:
+
+* :class:`~repro.db.page.PageImage` — via its own ``to_bytes`` /
+  ``from_bytes`` serde (header + tagged values);
+* :class:`~repro.flashcache.metadata.CacheSlotImage` — the cache-region
+  footer (position, dirty) wrapping a page image (Section 4.1);
+* the flash metadata region's superblock and segment images;
+* ``None`` — segment padding pages (a flushed metadata segment occupies
+  ``segment_pages`` LBAs, all but the first empty);
+* plain primitive values (ints, strings, tuples, ...) — reusing the page
+  serde's tagged-value encoding, so unit tests that store sentinel
+  strings work against every backend.
+
+Decoding reconstructs equal objects (dataclass ``frozen=True`` equality /
+tuple equality), which is all the simulation ever relies on — results
+depend on device charges and content comparisons, never object identity —
+so a cell run against an encode/decode backend stays bit-identical to the
+in-memory dict (pinned in ``tests/test_page_store.py``).
+
+The flash-cache metadata classes are imported lazily to keep
+``repro.storage`` free of an import-time dependency on
+``repro.flashcache``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.db.page import PageImage, _decode_value, _encode_value
+from repro.errors import StorageError
+
+#: Storable-kind tags (first byte of every encoded blob).
+_KIND_VALUE = 0
+_KIND_PAGE_IMAGE = 1
+_KIND_SLOT_IMAGE = 2
+_KIND_SUPERBLOCK = 3
+_KIND_SEGMENT = 4
+_KIND_NONE = 5
+
+#: CacheSlotImage footer: position, dirty flag.
+_SLOT_HEADER = struct.Struct("<qB")
+#: Superblock header: front, rear_at_flush, number of segment LBAs.
+_SUPER_HEADER = struct.Struct("<qqI")
+#: Segment header: first_position, number of entries.
+_SEGMENT_HEADER = struct.Struct("<qI")
+#: One metadata entry: position, page_id, lsn, dirty — the paper's
+#: 24-byte entry plus the dirty byte.
+_ENTRY = struct.Struct("<qqqB")
+
+_metadata_module = None
+
+
+def _metadata():
+    """Lazily-imported :mod:`repro.flashcache.metadata` (cycle avoidance)."""
+    global _metadata_module
+    if _metadata_module is None:
+        from repro.flashcache import metadata
+
+        _metadata_module = metadata
+    return _metadata_module
+
+
+def encode_storable(obj: object) -> bytes:
+    """Encode one storable object to its on-media bytes."""
+    if obj is None:
+        return bytes([_KIND_NONE])
+    if isinstance(obj, PageImage):
+        return bytes([_KIND_PAGE_IMAGE]) + obj.to_bytes()
+    meta = _metadata()
+    if isinstance(obj, meta.CacheSlotImage):
+        return (
+            bytes([_KIND_SLOT_IMAGE])
+            + _SLOT_HEADER.pack(obj.position, int(obj.dirty))
+            + obj.image.to_bytes()
+        )
+    if isinstance(obj, meta._Superblock):
+        parts = [
+            bytes([_KIND_SUPERBLOCK]),
+            _SUPER_HEADER.pack(obj.front, obj.rear_at_flush, len(obj.segment_lbas)),
+        ]
+        parts.extend(struct.pack("<q", lba) for lba in obj.segment_lbas)
+        return b"".join(parts)
+    if isinstance(obj, meta._SegmentImage):
+        parts = [
+            bytes([_KIND_SEGMENT]),
+            _SEGMENT_HEADER.pack(obj.first_position, len(obj.entries)),
+        ]
+        parts.extend(
+            _ENTRY.pack(position, page_id, lsn, int(dirty))
+            for position, page_id, lsn, dirty in obj.entries
+        )
+        return b"".join(parts)
+    # Anything else must be a primitive the tagged-value serde covers.
+    try:
+        return bytes([_KIND_VALUE]) + _encode_value(obj)
+    except StorageError:
+        raise StorageError(
+            f"cannot encode {type(obj).__name__} for a persistent page store"
+        ) from None
+
+
+def decode_storable(data: bytes) -> object:
+    """Decode on-media bytes back to an equal storable object."""
+    if not data:
+        raise StorageError("empty storable blob")
+    kind = data[0]
+    body = memoryview(data)[1:]
+    if kind == _KIND_NONE:
+        return None
+    if kind == _KIND_PAGE_IMAGE:
+        return PageImage.from_bytes(bytes(body))
+    meta = _metadata()
+    if kind == _KIND_SLOT_IMAGE:
+        position, dirty = _SLOT_HEADER.unpack_from(body, 0)
+        image = PageImage.from_bytes(bytes(body[_SLOT_HEADER.size :]))
+        return meta.CacheSlotImage(
+            position=position, dirty=bool(dirty), image=image
+        )
+    if kind == _KIND_SUPERBLOCK:
+        front, rear, n = _SUPER_HEADER.unpack_from(body, 0)
+        offset = _SUPER_HEADER.size
+        lbas = struct.unpack_from(f"<{n}q", body, offset) if n else ()
+        return meta._Superblock(
+            front=front, rear_at_flush=rear, segment_lbas=tuple(lbas)
+        )
+    if kind == _KIND_SEGMENT:
+        first_position, n = _SEGMENT_HEADER.unpack_from(body, 0)
+        offset = _SEGMENT_HEADER.size
+        entries = []
+        for _ in range(n):
+            position, page_id, lsn, dirty = _ENTRY.unpack_from(body, offset)
+            entries.append((position, page_id, lsn, bool(dirty)))
+            offset += _ENTRY.size
+        return meta._SegmentImage(
+            first_position=first_position, entries=tuple(entries)
+        )
+    if kind == _KIND_VALUE:
+        value, _ = _decode_value(bytes(body), 0)
+        return value
+    raise StorageError(f"unknown storable kind tag {kind}")

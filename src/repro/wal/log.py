@@ -217,6 +217,32 @@ class LogManager:
         """All records that survived (forced before any crash)."""
         return list(self._durable)
 
+    def adopt_durable(
+        self,
+        records: list[LogRecord],
+        *,
+        head_lba: int = 0,
+        last_checkpoint_lsn: int | None = None,
+    ) -> None:
+        """Restore the durable log of a previous process (hard-crash restart).
+
+        The in-process :meth:`crash` keeps ``_durable`` alive because the
+        process survives; after a real ``SIGKILL`` a fresh ``LogManager``
+        must re-adopt the forced records the victim serialised before dying.
+        The volatile tail stays empty — exactly what a crash loses — and
+        ``_next_lsn`` continues after the adopted records so recovery's own
+        undo/checkpoint appends extend the same LSN sequence as the
+        in-process model.
+        """
+        self._durable = list(records)
+        self._tail.clear()
+        self._tail_bytes = 0
+        self.flushed_lsn = records[-1].lsn if records else 0
+        self._next_lsn = (max(r.lsn for r in records) + 1) if records else 1
+        self._head_lba = head_lba
+        self.last_checkpoint_lsn = last_checkpoint_lsn
+        self._fpw_done.clear()
+
     def records_from(self, lsn: int) -> Iterator[LogRecord]:
         """Iterate durable records with LSN >= ``lsn`` in log order."""
         # The durable list is LSN-ordered; bisect would also work but a scan

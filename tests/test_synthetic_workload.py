@@ -23,6 +23,20 @@ def test_direct_construction_warns_deprecation():
         SyntheticKVWorkload(dbms, n_keys=100, seed=1)
 
 
+def test_registry_path_does_not_warn():
+    # The warning's entire point is steering callers to the registry; the
+    # replacement route must therefore never trip it.
+    import warnings
+
+    from repro.tpcc.scale import TINY
+    from repro.workload.registry import make_workload
+
+    dbms = SimulatedDBMS(tiny_config(CachePolicy.NONE))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        make_workload("ycsb", dbms, TINY, n_keys=100, seed=1)
+
+
 class TestZipf:
     def test_ranks_within_range(self):
         gen = ZipfGenerator(100, 0.99, seed=1)
